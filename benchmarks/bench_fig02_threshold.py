@@ -1,0 +1,24 @@
+"""Figure 2: effect of the DASC_Game termination threshold (real data).
+
+Expected shape: raising the threshold reduces running time; past ~5% the
+score starts to drop (the paper picks 5% as the trade-off).
+"""
+
+from conftest import assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig2
+
+
+def test_fig02_threshold(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"seed": 7, "scale": 1.0}, rounds=1, iterations=1
+    )
+    record_result("fig02_threshold", format_sweep(result))
+
+    scores = result.scores_of("Game")
+    times = result.times_of("Game")
+    # Strict termination (threshold 0) is the quality reference point.
+    assert scores[0] >= max(scores) * 0.9
+    # Larger thresholds never pay MORE best-response time overall.
+    assert_trend(times, "down", slack=0.35)

@@ -1,0 +1,22 @@
+"""Figure 3: max moving distance range [d-, d+] on real (Meetup-like) data.
+
+Expected shape: scores rise with the distance budget for all six approaches;
+the proposed approaches dominate the baselines throughout.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig3
+
+
+def test_fig03_real_distance(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"seed": 7, "scale": 1.0}, rounds=1, iterations=1
+    )
+    record_result("fig03_real_distance", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")
+    assert_trend(result.scores_of("Closest"), "up")

@@ -1,0 +1,21 @@
+"""Figure 4: worker velocity range [v-, v+] on real (Meetup-like) data.
+
+Expected shape: scores rise with velocity then saturate once other
+constraints (distance budget, deadlines) bind; proposed > baselines.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig4
+
+
+def test_fig04_real_velocity(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"seed": 7, "scale": 1.0}, rounds=1, iterations=1
+    )
+    record_result("fig04_real_velocity", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

@@ -1,0 +1,21 @@
+"""Figure 5: start-timestamp range [st-, st+] on real (Meetup-like) data.
+
+Expected shape: widening the arrival window disperses workers/tasks over
+time, so scores *fall* for every approach; proposed > baselines.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig5
+
+
+def test_fig05_real_start(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"seed": 7, "scale": 1.0}, rounds=1, iterations=1
+    )
+    record_result("fig05_real_start", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "down")
+    assert_trend(result.scores_of("Game"), "down")

@@ -1,0 +1,21 @@
+"""Figure 6: waiting-time range [wt-, wt+] on real (Meetup-like) data.
+
+Expected shape: longer waiting windows let workers reach more tasks in
+time, so scores rise for every approach; proposed > baselines.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig6
+
+
+def test_fig06_real_wait(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig6, kwargs={"seed": 7, "scale": 1.0}, rounds=1, iterations=1
+    )
+    record_result("fig06_real_wait", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

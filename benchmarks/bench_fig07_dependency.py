@@ -1,0 +1,24 @@
+"""Figure 7: dependency-set size range |D| on synthetic data.
+
+Expected shape: larger dependency sets are harder to satisfy, so scores
+fall for every approach — and the dependency-oblivious baselines fall
+hardest; the game variants' running time is insensitive to |D| (the search
+space doesn't change).
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig7
+
+
+def test_fig07_dependency_size(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig07_dependency", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "down")
+    assert_trend(result.scores_of("Closest"), "down")
+    assert_trend(result.scores_of("Random"), "down")

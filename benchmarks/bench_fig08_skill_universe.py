@@ -1,0 +1,22 @@
+"""Figure 8: skill-universe size r on synthetic data.
+
+Expected shape: a larger universe disperses workers/tasks over skills, so
+each task has fewer capable workers and scores fall; running time falls
+with the shrinking strategy space.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig8
+
+
+def test_fig08_skill_universe(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig08_skill_universe", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "down")
+    assert_trend(result.scores_of("Game"), "down")

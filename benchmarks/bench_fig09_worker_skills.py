@@ -1,0 +1,21 @@
+"""Figure 9: per-worker skill-set size range [sp-, sp+] on synthetic data.
+
+Expected shape: more skills per worker give every task more valid workers,
+so scores rise (and running time rises with the strategy space).
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig9
+
+
+def test_fig09_worker_skills(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig09_worker_skills", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

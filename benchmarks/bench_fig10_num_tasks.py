@@ -1,0 +1,24 @@
+"""Figure 10: number of tasks m on synthetic data.
+
+Expected shape: the proposed approaches' scores rise with m (more work to
+match); the baselines profit less — with more tasks per worker, picking
+dependency-blocked ones gets ever more likely.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend, total_score
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig10
+
+
+def test_fig10_num_tasks(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig10_num_tasks", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    # the baseline gap widens (relative) as tasks multiply
+    greedy, closest = result.scores_of("Greedy"), result.scores_of("Closest")
+    assert greedy[-1] >= closest[-1]

@@ -1,0 +1,22 @@
+"""Figure 11: number of workers n on synthetic data.
+
+Expected shape: more workers give every task more candidates, so scores
+rise for all six approaches; running time rises with the player count.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig11
+
+
+def test_fig11_num_workers(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig11_num_workers", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")
+    assert_trend(result.scores_of("Random"), "up")

@@ -1,0 +1,21 @@
+"""Figure 12 (Appendix C): max moving distance on synthetic data.
+
+Expected shape: scores rise with the budget then saturate once deadlines
+bind instead; proposed > baselines.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig12
+
+
+def test_fig12_syn_distance(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig12_syn_distance", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

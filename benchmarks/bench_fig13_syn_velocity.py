@@ -1,0 +1,21 @@
+"""Figure 13 (Appendix C): worker velocity on synthetic data.
+
+Expected shape: scores rise with velocity then saturate once the distance
+budget binds; proposed > baselines.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig13
+
+
+def test_fig13_syn_velocity(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig13_syn_velocity", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

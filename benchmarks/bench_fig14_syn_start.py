@@ -1,0 +1,21 @@
+"""Figure 14 (Appendix C): start-timestamp range on synthetic data.
+
+Expected shape: wider arrival windows disperse the population over time and
+scores fall for every approach.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig14
+
+
+def test_fig14_syn_start(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig14, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig14_syn_start", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "down")
+    assert_trend(result.scores_of("Game"), "down")

@@ -1,0 +1,21 @@
+"""Figure 15 (Appendix C): waiting-time range on synthetic data.
+
+Expected shape: longer windows let workers reach more tasks in time; scores
+rise for every approach.
+"""
+
+from conftest import assert_proposed_beat_baselines, assert_trend
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_fig15
+
+
+def test_fig15_syn_wait(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig15, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
+    )
+    record_result("fig15_syn_wait", format_sweep(result))
+
+    assert_proposed_beat_baselines(result)
+    assert_trend(result.scores_of("Greedy"), "up")
+    assert_trend(result.scores_of("Game"), "up")

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the substrates (proper multi-round timings).
+
+These are conventional pytest-benchmark measurements of the inner building
+blocks: the Hungarian solver, Hopcroft-Karp, the grid-index feasibility
+builder and a single greedy/game batch.  Useful for tracking performance
+regressions; they reproduce no specific paper figure.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.game import DASCGame
+from repro.algorithms.greedy import DASCGreedy
+from repro.core.constraints import FeasibilityChecker
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.hungarian import INFEASIBLE, hungarian
+
+
+@pytest.fixture(scope="module")
+def batch_instance():
+    return generate_synthetic(SyntheticConfig(seed=3).scaled(0.06))  # 300x300
+
+
+def test_micro_hungarian_40x60(benchmark):
+    rng = random.Random(1)
+    cost = [
+        [INFEASIBLE if rng.random() < 0.3 else rng.uniform(0, 10) for _ in range(60)]
+        for _ in range(40)
+    ]
+    benchmark(hungarian, cost)
+
+
+def test_micro_hopcroft_karp_500(benchmark):
+    rng = random.Random(2)
+    adjacency = {
+        i: [j for j in range(500) if rng.random() < 0.02] for i in range(500)
+    }
+    benchmark(hopcroft_karp, adjacency, 500)
+
+
+def test_micro_feasibility_indexed(benchmark, batch_instance):
+    benchmark(
+        FeasibilityChecker,
+        batch_instance.workers,
+        batch_instance.tasks,
+        now=0.0,
+        use_index=True,
+    )
+
+
+def test_micro_feasibility_exhaustive(benchmark, batch_instance):
+    benchmark(
+        FeasibilityChecker,
+        batch_instance.workers,
+        batch_instance.tasks,
+        now=0.0,
+        use_index=False,
+    )
+
+
+def test_micro_greedy_single_batch(benchmark, batch_instance):
+    greedy = DASCGreedy()
+    benchmark(
+        greedy.allocate,
+        batch_instance.workers,
+        batch_instance.tasks,
+        batch_instance,
+        0.0,
+        frozenset(),
+    )
+
+
+def test_micro_game_single_batch(benchmark, batch_instance):
+    game = DASCGame(seed=1)
+    benchmark(
+        game.allocate,
+        batch_instance.workers,
+        batch_instance.tasks,
+        batch_instance,
+        0.0,
+        frozenset(),
+    )
+
+
+def test_micro_incremental_feasibility_churn(benchmark, batch_instance):
+    """Maintain pairs under churn vs rebuilding: the incremental cache's
+    reason to exist."""
+    from repro.core.incremental import IncrementalFeasibility
+
+    workers = batch_instance.workers
+    tasks = batch_instance.tasks
+
+    def churn():
+        cache = IncrementalFeasibility(cell_size=0.1)
+        for w in workers[:150]:
+            cache.add_worker(w)
+        for t in tasks[:150]:
+            cache.add_task(t)
+        # five batches of churn: 20 departures + 20 arrivals each
+        for round_index in range(5):
+            base = 150 + round_index * 20
+            for w in workers[base - 20 : base]:
+                cache.remove_worker(w.id)
+            for t in tasks[base - 20 : base]:
+                cache.remove_task(t.id)
+            for w in workers[base : base + 20]:
+                cache.add_worker(w)
+            for t in tasks[base : base + 20]:
+                cache.add_task(t)
+        return cache.pair_count(now=0.0)
+
+    benchmark(churn)

@@ -1,0 +1,33 @@
+"""Table VI: small-scale comparison against the exact DFS optimum.
+
+Paper: 20 workers, 40 tasks, 10 skills, worker skills [1,3], deps [0,8].
+Expected shape: the game variants match DFS; Greedy is within (1 - 1/e) of
+it; both baselines score below the proposed approaches; DFS is orders of
+magnitude slower than everything else.
+"""
+
+import math
+
+from conftest import BASELINES, PROPOSED, total_score
+
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import run_table6
+
+
+def test_table6_small_scale(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_table6, kwargs={"seed": 7}, rounds=1, iterations=1
+    )
+    record_result("table6", format_sweep(result))
+
+    scores = {p.approach: p.score for p in result.points}
+    times = {p.approach: p.elapsed for p in result.points}
+    optimum = scores["DFS"]
+
+    for name in PROPOSED + BASELINES:
+        assert scores[name] <= optimum
+    assert scores["Greedy"] >= (1.0 - 1.0 / math.e) * optimum - 1e-9
+    assert max(scores[n] for n in PROPOSED) >= max(scores[n] for n in BASELINES)
+    # DFS pays an exponential running-time premium over the heuristics.
+    fastest_heuristic = min(times[n] for n in PROPOSED + BASELINES)
+    assert times["DFS"] > 10.0 * fastest_heuristic

@@ -1,0 +1,69 @@
+"""Shared benchmark helpers.
+
+Every ``bench_*`` file regenerates one table/figure of the paper: it runs
+the corresponding experiment once under ``pytest-benchmark`` (pedantic mode
+— the experiment is the unit of work), writes the rendered score/time tables
+to ``benchmarks/results/<name>.txt`` and asserts the paper's qualitative
+shape (who wins).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the tables inline; they are always written to the results
+directory regardless.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Approaches considered "proposed" vs "baseline" for shape assertions.
+PROPOSED = ("Greedy", "Game", "Game-5%", "G-G")
+BASELINES = ("Closest", "Random")
+
+
+@pytest.fixture
+def record_result():
+    """Persist a rendered experiment table under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        print("\n" + text)
+
+    return _record
+
+
+def total_score(result, approach: str) -> int:
+    return sum(result.scores_of(approach))
+
+
+def assert_proposed_beat_baselines(result) -> None:
+    """The headline claim of every figure: DA-SC approaches >= baselines.
+
+    Compared on sweep totals (per-point comparisons are noisy at bench
+    scale) with a small slack for tie-heavy settings.
+    """
+    best_proposed = max(total_score(result, name) for name in PROPOSED)
+    best_baseline = max(total_score(result, name) for name in BASELINES)
+    assert best_proposed >= best_baseline, (
+        f"{result.name}: proposed {best_proposed} < baseline {best_baseline}"
+    )
+
+
+def assert_trend(values, direction: str, slack: float = 0.15) -> None:
+    """Loose monotonicity: the sweep's endpoints move the right way.
+
+    ``direction`` is ``up`` or ``down``; ``slack`` tolerates plateaus (the
+    paper itself reports saturating curves for velocity/distance).
+    """
+    first, last = values[0], values[-1]
+    if direction == "up":
+        assert last >= first * (1.0 - slack), f"expected rise, got {values}"
+    elif direction == "down":
+        assert last <= first * (1.0 + slack) + 1, f"expected fall, got {values}"
+    else:
+        raise ValueError(direction)

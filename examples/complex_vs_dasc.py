@@ -1,0 +1,63 @@
+"""Why dependency-aware decomposition beats team formation (Section I).
+
+Prior multi-skill spatial crowdsourcing ([7], [8] in the paper) staffs a
+complex task with a whole team whose skill union covers it — and, when the
+subtasks are internally ordered, team members idle while they wait their
+turn.  DA-SC decomposes the complex task into dependency-aware single-skill
+subtasks and releases each worker the moment their piece is done.
+
+This example generates one workload of multi-skill jobs and runs both
+strategies head to head.
+
+Run::
+
+    python examples/complex_vs_dasc.py
+"""
+
+from repro.algorithms.game import DASCGame
+from repro.complex.compare import (
+    compare_strategies,
+    format_comparison,
+    generate_complex_workload,
+)
+from repro.complex.model import DependencyPattern
+
+
+def main() -> None:
+    workers, complex_tasks, skills = generate_complex_workload(
+        num_workers=120, num_complex=30, seed=3
+    )
+    total_subtasks = sum(len(c.skills) for c in complex_tasks)
+    print(
+        f"workload : {len(workers)} workers, {len(complex_tasks)} complex tasks "
+        f"({total_subtasks} subtasks), {len(skills)} skills"
+    )
+
+    print("\nchain-dependent subtasks (pipes -> walls -> cleaning):")
+    reports = compare_strategies(workers, complex_tasks, skills)
+    print(format_comparison(reports))
+    team, dasc = reports["team"], reports["dasc"]
+    if team.busy_hours:
+        saved = 100.0 * (1.0 - dasc.busy_hours / team.busy_hours)
+        print(f"-> DA-SC delivers the same work with {saved:.0f}% fewer worker-hours")
+
+    print("\nindependent subtasks (no internal ordering):")
+    reports = compare_strategies(
+        workers, complex_tasks, skills, pattern=DependencyPattern.PARALLEL
+    )
+    print(format_comparison(reports))
+    print(
+        "-> without dependencies the team reservation wastes much less, which\n"
+        "   is exactly the paper's point: dependencies are what make prior\n"
+        "   team-based assignment inefficient."
+    )
+
+    print("\nsame comparison with DASC_Game doing the decomposed allocation:")
+    reports = compare_strategies(
+        workers, complex_tasks, skills, allocator=DASCGame(seed=1, init="greedy")
+    )
+    print(format_comparison(reports))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Streaming-platform walkthrough: watch batches, rejoins and expiries.
+
+Demonstrates the Section II-D batch loop in slow motion on a small synthetic
+workload: each batch prints who was available, what got matched and which
+tasks timed out — plus the effect of the worker-rejoin policy.
+
+Run::
+
+    python examples/dynamic_platform.py
+"""
+
+from repro import (
+    DASCGreedy,
+    Platform,
+    RejoinPolicy,
+    SyntheticConfig,
+    generate_synthetic,
+)
+from repro.datagen.distributions import IntRange, Range
+
+
+def build_instance():
+    config = SyntheticConfig(
+        num_workers=40,
+        num_tasks=60,
+        skill_universe=12,
+        worker_skills=IntRange(1, 4),
+        dependency_size=IntRange(0, 3),
+        start_time=Range(0.0, 40.0),
+        waiting_time=Range(8.0, 15.0),
+        velocity=Range(0.05, 0.08),
+        max_distance=Range(0.3, 0.5),
+        seed=31,
+    )
+    return generate_synthetic(config)
+
+
+def main() -> None:
+    instance = build_instance()
+    print("workload :", instance.describe())
+
+    print("\nbatch-by-batch trace (interval = 5):")
+    report = Platform(instance, DASCGreedy(), batch_interval=5.0).run()
+    print(f"{'batch':>5s} {'t':>6s} {'workers':>8s} {'tasks':>6s} {'matched':>8s}")
+    for record in report.batches:
+        print(
+            f"{record.index:5d} {record.time:6.1f} {record.available_workers:8d} "
+            f"{record.open_tasks:6d} {record.score:8d}"
+        )
+    print(f"total: {report.total_score} matched, {len(report.expired_tasks)} expired")
+
+    print("\nworker-rejoin policy comparison:")
+    for policy in RejoinPolicy:
+        report = Platform(
+            instance, DASCGreedy(), batch_interval=5.0, rejoin=policy
+        ).run()
+        print(f"  {policy.value:10s} -> score {report.total_score}")
+    print(
+        "\nREMAINING keeps Definition 1's worker deadline; FRESH models a"
+        "\nmarketplace where finishing a job renews the worker's patience;"
+        "\nNEVER is the one-shot lower bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — Dependency-Aware Spatial Crowdsourcing (DA-SC).
+
+A full reproduction of *"Task Allocation in Dependency-aware Spatial
+Crowdsourcing"* (Ni, Cheng, Chen, Lin — ICDE 2020): the problem model, the
+``DASC_Greedy`` and ``DASC_Game`` approximation algorithms, the exact DFS
+solver, the ``Closest``/``Random`` baselines, a batch-based platform
+simulator, both dataset generators, and an experiment harness regenerating
+every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import DASCGreedy, Platform, SyntheticConfig, generate_synthetic
+
+    instance = generate_synthetic(SyntheticConfig(num_workers=200, num_tasks=200))
+    report = Platform(instance, DASCGreedy(), batch_interval=10.0).run()
+    print(report.summary())
+"""
+
+from repro.algorithms import (
+    APPROACH_NAMES,
+    ClosestBaseline,
+    DASCGame,
+    DASCGreedy,
+    DFSExact,
+    GameState,
+    RandomBaseline,
+    make_allocator,
+)
+from repro.core import (
+    Assignment,
+    DependencyGraph,
+    ProblemInstance,
+    SkillUniverse,
+    Task,
+    Worker,
+)
+from repro.datagen import (
+    MeetupLikeConfig,
+    SyntheticConfig,
+    generate_meetup_like,
+    generate_synthetic,
+)
+from repro.experiments import run_experiment
+from repro.simulation import Platform, RejoinPolicy, SimulationReport, run_single_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROACH_NAMES",
+    "Assignment",
+    "ClosestBaseline",
+    "DASCGame",
+    "DASCGreedy",
+    "DFSExact",
+    "DependencyGraph",
+    "GameState",
+    "MeetupLikeConfig",
+    "Platform",
+    "ProblemInstance",
+    "RandomBaseline",
+    "RejoinPolicy",
+    "SimulationReport",
+    "SkillUniverse",
+    "SyntheticConfig",
+    "Task",
+    "Worker",
+    "__version__",
+    "generate_meetup_like",
+    "generate_synthetic",
+    "make_allocator",
+    "run_experiment",
+    "run_single_batch",
+]

@@ -1,0 +1,93 @@
+"""The allocator interface shared by all approaches."""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import FeasibilityChecker
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+@dataclass
+class AllocationOutcome:
+    """An assignment plus bookkeeping an experiment wants to record.
+
+    Attributes:
+        assignment: the valid per-batch assignment ``M_b``.
+        elapsed: wall-clock seconds spent inside the allocator.
+        stats: algorithm-specific counters (rounds, nodes expanded, ...).
+    """
+
+    assignment: Assignment
+    elapsed: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def score(self) -> int:
+        return self.assignment.score
+
+
+class BatchAllocator(abc.ABC):
+    """Computes one batch assignment ``M_b`` (Section II-D).
+
+    Subclasses implement :meth:`_allocate`; the public :meth:`allocate`
+    wraps it with timing.  Allocators must return *valid* assignments:
+    every pair feasible, and every assigned task's dependencies satisfied by
+    this batch's picks plus ``previously_assigned``.
+    """
+
+    #: Display name used in experiment tables; overridden per configuration.
+    name: str = "allocator"
+
+    def allocate(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float = -math.inf,
+        previously_assigned: AbstractSet[int] = frozenset(),
+    ) -> AllocationOutcome:
+        """Run the allocator on one batch.
+
+        Args:
+            workers: the free workers ``W_b``.
+            tasks: the open tasks ``T_b``.
+            instance: the enclosing problem (metric, dependency DAG, lookups).
+            now: the batch timestamp.
+            previously_assigned: task ids matched in earlier batches; they
+                satisfy dependency constraints (Definition 3's ``a_{t'}``).
+        """
+        started = time.perf_counter()
+        outcome = self._allocate(list(workers), list(tasks), instance, now, previously_assigned)
+        outcome.elapsed = time.perf_counter() - started
+        return outcome
+
+    @abc.abstractmethod
+    def _allocate(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float,
+        previously_assigned: AbstractSet[int],
+    ) -> AllocationOutcome:
+        """Compute the batch assignment (implemented by each approach)."""
+
+    @staticmethod
+    def _checker(
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float,
+    ) -> FeasibilityChecker:
+        return FeasibilityChecker(workers, tasks, metric=instance.metric, now=now)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,139 @@
+"""Exact optimum by depth-first search (Section V-B).
+
+Each level of the search tree is a worker; its children are the worker's
+feasible tasks plus "idle".  Leaves are full profiles; a leaf's value is the
+score after dropping dependency-invalid picks, so the maximum over leaves is
+the true optimum (every valid assignment appears as a leaf and survives the
+pruning unchanged).  Branch-and-bound: a subtree is cut when even assigning
+every remaining worker cannot beat the incumbent.
+
+The branch-and-bound upper bound is a maximum bipartite matching of the
+remaining workers onto the still-open tasks (dependencies ignored — a valid
+relaxation), which prunes far more aggressively than the naive
+"one per remaining worker" count.
+
+Exponential — intended for the small-scale comparison of Table VI only.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Optional, Sequence, Set
+
+from repro.algorithms.base import AllocationOutcome, BatchAllocator
+from repro.core.assignment import Assignment
+from repro.core.exceptions import AllocationError
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+class DFSExact(BatchAllocator):
+    """Exhaustive optimal allocator.
+
+    Args:
+        max_nodes: abort with :class:`AllocationError` after expanding this
+            many search nodes (a safety valve for accidentally-large inputs).
+    """
+
+    name = "DFS"
+
+    def __init__(self, max_nodes: Optional[int] = 50_000_000) -> None:
+        self.max_nodes = max_nodes
+
+    def _allocate(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float,
+        previously_assigned: AbstractSet[int],
+    ) -> AllocationOutcome:
+        if not workers or not tasks:
+            return AllocationOutcome(Assignment())
+        checker = self._checker(workers, tasks, instance, now)
+        graph = instance.dependency_graph
+        prev = set(previously_assigned)
+
+        # Completability preprocessing: a task with an ancestor that is not
+        # previously assigned and cannot itself be completed (missing from
+        # the batch, or no capable worker) never survives leaf pruning, so
+        # pairs pointing at it only waste a worker — drop them outright.
+        batch_ids = {t.id for t in tasks}
+        completable: Set[int] = set()
+        for tid in graph.topological_order():
+            if tid not in batch_ids:
+                continue
+            deps_ok = all(
+                dep in prev or dep in completable
+                for dep in graph.direct_dependencies(tid)
+            )
+            if deps_ok and checker.workers_of(tid):
+                completable.add(tid)
+
+        # Workers with the fewest options first: failing fast shrinks the tree.
+        options: Dict[int, List[int]] = {
+            w.id: [t for t in checker.tasks_of(w.id) if t in completable]
+            for w in workers
+        }
+        order = sorted(options, key=lambda wid: (len(options[wid]), wid))
+
+        # Warm start: the greedy solution is a valid incumbent, so the
+        # branch-and-bound never explores subtrees that cannot beat it.
+        from repro.algorithms.greedy import DASCGreedy
+
+        warm = DASCGreedy().allocate(
+            workers, tasks, instance, now, previously_assigned
+        ).assignment
+        best_assignment = warm
+        best_score = warm.score
+        picks: Dict[int, int] = {}
+        taken: Set[int] = set()
+        nodes = 0
+
+        def leaf_score() -> int:
+            candidate = Assignment(picks.items())
+            pruned = candidate.prune_dependency_violations(graph, prev)
+            return pruned.score
+
+        def matching_bound(depth: int) -> int:
+            """Max extra pairs the suffix workers could add, deps ignored."""
+            suffix = order[depth:]
+            adjacency = {
+                i: [t for t in options[wid] if t not in taken]
+                for i, wid in enumerate(suffix)
+            }
+            left_to_right, _ = hopcroft_karp(adjacency, len(suffix))
+            return len(left_to_right)
+
+        def descend(depth: int) -> None:
+            nonlocal best_score, best_assignment, nodes
+            nodes += 1
+            if self.max_nodes is not None and nodes > self.max_nodes:
+                raise AllocationError(
+                    f"DFS exceeded max_nodes={self.max_nodes}; "
+                    "use DASCGreedy/DASCGame for instances of this size"
+                )
+            if len(picks) + matching_bound(depth) <= best_score:
+                return  # even a perfect finish cannot beat the incumbent
+            if depth == len(order):
+                score = leaf_score()
+                if score > best_score:
+                    best_score = score
+                    best_assignment = Assignment(picks.items()).prune_dependency_violations(
+                        graph, prev
+                    )
+                return
+            worker_id = order[depth]
+            for task_id in options[worker_id]:
+                if task_id in taken:
+                    continue
+                picks[worker_id] = task_id
+                taken.add(task_id)
+                descend(depth + 1)
+                del picks[worker_id]
+                taken.discard(task_id)
+            descend(depth + 1)  # the idle branch
+
+        descend(0)
+        return AllocationOutcome(best_assignment, stats={"nodes": float(nodes)})

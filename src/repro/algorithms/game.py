@@ -1,0 +1,207 @@
+"""``DASC_Game`` (Algorithm 3, Section IV): best-response dynamics.
+
+Each worker is a player whose strategies are its feasible tasks; utilities
+follow Eq. 3 (see :mod:`repro.algorithms.utility`).  Workers repeatedly move
+to their best response until (near-)equilibrium, then the profile is turned
+into a valid assignment: contended tasks keep one randomly-chosen worker and
+dependency-violating picks are dropped to a fixed point.
+
+Three named configurations from the evaluation:
+
+* ``Game`` — strict termination (a full round with no strategy change);
+* ``Game-5%`` — stop once the fraction of workers changing strategy in a
+  round drops to 5% or below (the threshold trade-off of Figure 2);
+* ``G-G`` — initialise from ``DASC_Greedy`` instead of randomly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import AbstractSet, Dict, List, Literal, Optional, Sequence
+
+from repro.algorithms.base import AllocationOutcome, BatchAllocator
+from repro.algorithms.greedy import DASCGreedy
+from repro.algorithms.utility import GameState
+from repro.core.assignment import Assignment
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+InitMode = Literal["random", "greedy"]
+
+#: Strict-improvement margin: a worker only moves when the candidate beats
+#: its current utility by more than this, which (with the exact potential)
+#: rules out infinite tie-shuffling.
+_EPS = 1e-12
+
+
+class DASCGame(BatchAllocator):
+    """The game-theoretic approach.
+
+    Args:
+        threshold: utility-updating-ratio termination threshold in ``[0, 1]``.
+            0 demands a strict Nash equilibrium; 0.05 is the paper's
+            recommended trade-off (Figure 2).
+        alpha: Eq. 3 normalisation parameter (> 1).
+        init: ``random`` (Algorithm 3 line 2) or ``greedy`` (the *G-G*
+            heuristic: seed the profile with ``DASC_Greedy``'s assignment).
+        seed: RNG seed for initialisation and contention tie-breaks.
+        max_rounds: hard cap on best-response rounds (indicator flips can in
+            principle cycle, so the cap guarantees termination; equilibrium
+            is reached far earlier in practice — Lemma IV.1).
+        reassign_losers: extension beyond the paper — workers that lose a
+            contention tie take a final greedy pass over still-open tasks.
+    """
+
+    name = "Game"
+
+    def __init__(
+        self,
+        threshold: float = 0.0,
+        alpha: float = 10.0,
+        init: InitMode = "random",
+        seed: int = 0,
+        max_rounds: int = 200,
+        reassign_losers: bool = False,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.threshold = threshold
+        self.alpha = alpha
+        self.init = init
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.reassign_losers = reassign_losers
+
+    # -- main entry ---------------------------------------------------------------------
+
+    def _allocate(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float,
+        previously_assigned: AbstractSet[int],
+    ) -> AllocationOutcome:
+        if not workers or not tasks:
+            return AllocationOutcome(Assignment())
+        rng = random.Random(self.seed)
+        checker = self._checker(workers, tasks, instance, now)
+        strategies: Dict[int, List[int]] = {
+            w.id: checker.tasks_of(w.id) for w in workers if checker.tasks_of(w.id)
+        }
+        if not strategies:
+            return AllocationOutcome(Assignment())
+
+        state = GameState(
+            instance, tasks, strategies, previously_assigned, alpha=self.alpha
+        )
+        self._initialise(state, strategies, workers, tasks, instance, now, previously_assigned, rng)
+        rounds = self._best_response(state, strategies)
+        assignment = self._extract(state, previously_assigned, instance, rng)
+        if self.reassign_losers:
+            assignment = self._reassign(
+                assignment, strategies, checker, instance, previously_assigned
+            )
+        return AllocationOutcome(assignment, stats={"rounds": float(rounds)})
+
+    # -- phases --------------------------------------------------------------------------
+
+    def _initialise(
+        self,
+        state: GameState,
+        strategies: Dict[int, List[int]],
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float,
+        previously_assigned: AbstractSet[int],
+        rng: random.Random,
+    ) -> None:
+        seeded: Dict[int, int] = {}
+        if self.init == "greedy":
+            outcome = DASCGreedy().allocate(workers, tasks, instance, now, previously_assigned)
+            seeded = {w: t for w, t in outcome.assignment.pairs()}
+        elif self.init != "random":
+            raise ValueError(f"unknown init mode {self.init!r}")
+        for worker_id, options in strategies.items():
+            task_id = seeded.get(worker_id)
+            if task_id is None or task_id not in set(options):
+                task_id = rng.choice(options)
+            state.set_choice(worker_id, task_id)
+
+    def _best_response(self, state: GameState, strategies: Dict[int, List[int]]) -> int:
+        player_order = sorted(strategies)
+        n_players = len(player_order)
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            changed = 0
+            for worker_id in player_order:
+                current = state.choice[worker_id]
+                state.set_choice(worker_id, None)
+                best_task = current
+                best_utility = (
+                    state.utility_of_choice(worker_id, current) if current is not None else 0.0
+                )
+                for candidate in strategies[worker_id]:
+                    if candidate == current:
+                        continue
+                    utility = state.utility_of_choice(worker_id, candidate)
+                    if utility > best_utility + _EPS:
+                        best_utility = utility
+                        best_task = candidate
+                state.set_choice(worker_id, best_task)
+                if best_task != current:
+                    changed += 1
+            if changed == 0 or changed / n_players <= self.threshold:
+                break
+        return rounds
+
+    def _extract(
+        self,
+        state: GameState,
+        previously_assigned: AbstractSet[int],
+        instance: ProblemInstance,
+        rng: random.Random,
+    ) -> Assignment:
+        assignment = Assignment()
+        for task_id in state.chosen_tasks():
+            contenders = state.workers_on(task_id)
+            winner = contenders[0] if len(contenders) == 1 else rng.choice(contenders)
+            assignment.add(winner, task_id)
+        return assignment.prune_dependency_violations(
+            instance.dependency_graph, previously_assigned
+        )
+
+    def _reassign(
+        self,
+        assignment: Assignment,
+        strategies: Dict[int, List[int]],
+        checker,
+        instance: ProblemInstance,
+        previously_assigned: AbstractSet[int],
+    ) -> Assignment:
+        graph = instance.dependency_graph
+        changed = True
+        while changed:
+            changed = False
+            assigned_tasks = assignment.assigned_tasks() | set(previously_assigned)
+            busy = assignment.assigned_workers()
+            for worker_id in sorted(strategies):
+                if worker_id in busy:
+                    continue
+                for task_id in strategies[worker_id]:
+                    if task_id in assigned_tasks:
+                        continue
+                    if task_id in graph and not graph.satisfied(task_id, assigned_tasks):
+                        continue
+                    assignment.add(worker_id, task_id)
+                    changed = True
+                    break
+                else:
+                    continue
+                break  # recompute the assigned sets before the next pick
+        return assignment

@@ -1,0 +1,184 @@
+"""Game state, the Eq. 3 utility and potential functions (Section IV).
+
+The strategic game assigns each worker a strategy ``s_w`` (a feasible task).
+A task's *value* is split so that every validly-assigned task contributes
+exactly 1 to the summed utility:
+
+* ``Utility_Self``: ``(alpha - 1) / alpha`` for a task with dependencies
+  (gated on all of them being assigned), ``1`` for a root task;
+* ``Utility_Dependency``: the remaining ``1 / alpha`` of a dependent task's
+  value, split evenly over its ``|D_t|`` dependencies and paid to the
+  workers choosing those dependencies.
+
+Each task's value is shared equally among the ``nw_t`` workers currently
+choosing it.  With no carry-over from previous batches this makes
+``Sum(M) = sum_w U_w`` (the observation of Section IV-B), which the test
+suite verifies.
+
+Potentials
+----------
+``potential()`` is the harmonic-number potential
+``Phi(S) = sum_t q(t) * H(nw_t)`` (``q(t)`` = the task's currently-realised
+value, ``H`` the harmonic numbers).  For any best-response move that does not
+flip an assignment indicator ``a_f`` (i.e. the origin task keeps at least one
+worker and the target already has one), ``Delta U_w = Delta Phi`` exactly —
+the exact-potential property of Theorem IV.1.  The formula printed in the
+paper (implemented verbatim as :meth:`GameState.potential_paper` for
+reference) does not reduce to an exact potential as typeset; the harmonic
+form is the standard exact potential for this utility-sharing structure and
+is what the convergence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.constraints import FeasibilityChecker
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H(n) = 1 + 1/2 + ... + 1/n``."""
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+class GameState:
+    """Mutable strategy profile of the DA-SC game for one batch.
+
+    Args:
+        instance: the enclosing problem (dependency DAG and task lookups).
+        tasks: the batch's open tasks.
+        players: ids of the participating workers.
+        previously_assigned: task ids matched in earlier batches — they count
+            as assigned for every indicator ``a_f``.
+        alpha: the normalisation parameter of Eq. 3 (must exceed 1).
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        tasks: Sequence[Task],
+        players: Iterable[int],
+        previously_assigned: AbstractSet[int] = frozenset(),
+        alpha: float = 10.0,
+    ) -> None:
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must be > 1, got {alpha}")
+        self.alpha = alpha
+        self.graph = instance.dependency_graph
+        self.batch_task_ids = {t.id for t in tasks}
+        self.prev = frozenset(previously_assigned)
+        self.choice: Dict[int, Optional[int]] = {w: None for w in players}
+        self.nw: Dict[int, int] = {}
+
+    # -- profile mutation -----------------------------------------------------------
+
+    def set_choice(self, worker_id: int, task_id: Optional[int]) -> None:
+        """Move ``worker_id`` to ``task_id`` (None = withdraw)."""
+        old = self.choice[worker_id]
+        if old == task_id:
+            return
+        if old is not None:
+            remaining = self.nw[old] - 1
+            if remaining:
+                self.nw[old] = remaining
+            else:
+                del self.nw[old]
+        if task_id is not None:
+            self.nw[task_id] = self.nw.get(task_id, 0) + 1
+        self.choice[worker_id] = task_id
+
+    # -- indicators -------------------------------------------------------------------
+
+    def assigned(self, task_id: int) -> bool:
+        """``a_t``: the task is chosen by some worker or previously matched."""
+        return self.nw.get(task_id, 0) > 0 or task_id in self.prev
+
+    def deps_satisfied(self, task_id: int, extra: Optional[int] = None) -> bool:
+        """``prod_{f in D_t} a_f = 1``, optionally counting ``extra`` as assigned."""
+        return all(
+            f == extra or self.assigned(f)
+            for f in self.graph.direct_dependencies(task_id)
+        )
+
+    def fully_realised(self, task_id: int, extra: Optional[int] = None) -> bool:
+        """``prod_{f in D_t ∪ {t}} a_f = 1`` with an optional hypothetical."""
+        if not (task_id == extra or self.assigned(task_id)):
+            return False
+        return self.deps_satisfied(task_id, extra)
+
+    # -- utilities ----------------------------------------------------------------------
+
+    def task_value(self, task_id: int, extra: Optional[int] = None) -> float:
+        """``q(t)``: the value currently realised at task ``t`` (Eq. 3 numerators).
+
+        ``extra`` marks one task hypothetically assigned (used when
+        evaluating a candidate move before committing it).
+        """
+        deps = self.graph.direct_dependencies(task_id)
+        if deps:
+            value = (self.alpha - 1.0) / self.alpha if self.deps_satisfied(task_id, extra) else 0.0
+        else:
+            value = 1.0
+        for dependent in self.graph.direct_dependents(task_id):
+            d_size = len(self.graph.direct_dependencies(dependent))
+            if self.fully_realised(dependent, extra):
+                value += 1.0 / (self.alpha * d_size)
+        return value
+
+    def utility_of_choice(self, worker_id: int, task_id: int) -> float:
+        """``U_w(s_w, s̄_w)`` if ``worker_id`` (currently withdrawn) picks ``task_id``.
+
+        The caller must first ``set_choice(worker_id, None)`` so the counts
+        describe the *other* players; this method then adds the worker
+        hypothetically.
+        """
+        if self.choice[worker_id] is not None:
+            raise ValueError(
+                f"worker {worker_id} must be withdrawn before evaluating candidates"
+            )
+        crowd = self.nw.get(task_id, 0) + 1
+        return self.task_value(task_id, extra=task_id) / crowd
+
+    def utility(self, worker_id: int) -> float:
+        """``U_w`` under the worker's committed strategy (0 when idle)."""
+        task_id = self.choice[worker_id]
+        if task_id is None:
+            return 0.0
+        return self.task_value(task_id) / self.nw[task_id]
+
+    def total_utility(self) -> float:
+        """``U(S) = sum_w U_w`` — equals ``Sum(M)`` in the single-batch game."""
+        return sum(self.utility(w) for w in self.choice)
+
+    # -- potentials ------------------------------------------------------------------------
+
+    def potential(self) -> float:
+        """Harmonic exact potential ``Phi(S) = sum_t q(t) * H(nw_t)``."""
+        return sum(
+            self.task_value(tid) * harmonic(count) for tid, count in self.nw.items()
+        )
+
+    def potential_paper(self) -> float:
+        """The paper's printed potential, after its own simplification step.
+
+        ``Phi(S) = - sum_{t in ∪S_w} prod_{f in D_t ∪ {t}} a_f / (nw_t + 1)``
+        (Lemma IV.3 reduces the double sum to this single-sum form).  Kept
+        verbatim for comparison; see the module docstring for why the
+        harmonic form is used by the analysis instead.
+        """
+        return -sum(
+            1.0 / (count + 1) if self.fully_realised(tid) else 0.0
+            for tid, count in self.nw.items()
+        )
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def chosen_tasks(self) -> List[int]:
+        """Tasks currently chosen by at least one worker, sorted."""
+        return sorted(self.nw)
+
+    def workers_on(self, task_id: int) -> List[int]:
+        """Workers whose strategy is ``task_id``, sorted for determinism."""
+        return sorted(w for w, t in self.choice.items() if t == task_id)

@@ -1,0 +1,38 @@
+"""Analysis utilities: equilibrium verification and theoretical bounds.
+
+Tools for checking the paper's theory against concrete runs:
+
+* :func:`~repro.analysis.equilibrium.is_nash_equilibrium` /
+  :func:`~repro.analysis.equilibrium.best_response_gaps` — verify that a
+  strategy profile (or a finished ``DASC_Game`` run) is a pure Nash
+  equilibrium of the Eq. 3 game;
+* :mod:`~repro.analysis.bounds` — the greedy ``(1 - 1/e)`` bound
+  (Theorem III.2) and the PoS/PoA expressions of Theorem IV.2, evaluated on
+  measured profiles;
+* :mod:`~repro.analysis.metrics` — assignment-quality metrics beyond the
+  raw score (worker utilisation, travel distance, dependency-chain
+  completion), used by the examples and ablations.
+"""
+
+from repro.analysis.bounds import (
+    greedy_lower_bound,
+    poa_lower_bound,
+    pos_lower_bound,
+)
+from repro.analysis.equilibrium import (
+    BestResponseGap,
+    best_response_gaps,
+    is_nash_equilibrium,
+)
+from repro.analysis.metrics import AssignmentMetrics, assignment_metrics
+
+__all__ = [
+    "AssignmentMetrics",
+    "BestResponseGap",
+    "assignment_metrics",
+    "best_response_gaps",
+    "greedy_lower_bound",
+    "is_nash_equilibrium",
+    "poa_lower_bound",
+    "pos_lower_bound",
+]

@@ -1,0 +1,76 @@
+"""The paper's approximation bounds, evaluated on concrete runs.
+
+* Theorem III.2: ``|M_greedy| >= (1 - 1/e) * |M_opt|`` per batch;
+* Theorem IV.2: per-batch Price of Stability / Price of Anarchy lower
+  bounds for the game, expressed through the contention statistics
+  ``nw_max``, ``nw_min`` of an equilibrium profile.
+
+These are *lower bounds on ratios* — useful for asserting that a measured
+run respects the theory, and for reporting how loose the guarantees are in
+practice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.algorithms.utility import GameState
+
+#: The greedy guarantee from submodular maximisation.
+GREEDY_RATIO = 1.0 - 1.0 / math.e
+
+
+def greedy_lower_bound(optimal_score: int) -> float:
+    """Theorem III.2: the minimum score DASC_Greedy may return per batch."""
+    if optimal_score < 0:
+        raise ValueError(f"negative optimum {optimal_score}")
+    return GREEDY_RATIO * optimal_score
+
+
+def _contention(state: GameState) -> Dict[str, int]:
+    counts = list(state.nw.values())
+    if not counts:
+        return {"nw_max": 0, "nw_min": 0}
+    return {"nw_max": max(counts), "nw_min": min(counts)}
+
+
+def pos_lower_bound(state: GameState, n_players: Optional[int] = None) -> float:
+    """Theorem IV.2's Price-of-Stability lower bound for a profile.
+
+    ``PoS >= nw_bar * (n_b - nw_bar) / (n_b * (nw_max + 1))`` with
+    ``nw_bar = min(nw_min, n_b - nw_max)``.  Returns 0 when the bound
+    degenerates (e.g. every worker on one task).
+    """
+    n_b = n_players if n_players is not None else len(state.choice)
+    if n_b <= 0:
+        raise ValueError("need at least one player")
+    stats = _contention(state)
+    nw_bar = min(stats["nw_min"], n_b - stats["nw_max"])
+    if nw_bar <= 0:
+        return 0.0
+    return (nw_bar * (n_b - nw_bar)) / (n_b * (stats["nw_max"] + 1))
+
+
+def poa_lower_bound(
+    state: GameState,
+    phi_min: float,
+    n_players: Optional[int] = None,
+    m_tasks: Optional[int] = None,
+) -> float:
+    """Theorem IV.2's Price-of-Anarchy lower bound for a profile.
+
+    ``PoA >= nw_bar * (n_b - nw_bar) / (n_b * min(n_b, m_b)) * |phi_min|``
+    where ``phi_min`` is the smallest local minimum of the (paper's)
+    potential observed across equilibria — callers typically pass the
+    absolute potential of the worst equilibrium they found.
+    """
+    n_b = n_players if n_players is not None else len(state.choice)
+    m_b = m_tasks if m_tasks is not None else len(state.batch_task_ids)
+    if n_b <= 0 or m_b <= 0:
+        raise ValueError("need at least one player and one task")
+    stats = _contention(state)
+    nw_bar = min(stats["nw_min"], n_b - stats["nw_max"])
+    if nw_bar <= 0:
+        return 0.0
+    return (nw_bar * (n_b - nw_bar)) / (n_b * min(n_b, m_b)) * abs(phi_min)

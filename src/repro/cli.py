@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+Examples::
+
+    dasc list
+    dasc run fig7 --scale 0.1 --seed 7
+    dasc generate synthetic --out instance.json --workers 200 --tasks 300
+    dasc solve instance.json --approach Greedy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.algorithms.registry import APPROACH_NAMES, make_allocator
+from repro.datagen.meetup import MeetupLikeConfig, generate_meetup_like
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.experiments.report import format_sweep
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.io.serialize import load_instance, save_instance
+from repro.simulation.platform import Platform, run_single_batch
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dasc",
+        description="Dependency-aware spatial crowdsourcing (ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and approaches")
+
+    run = sub.add_parser("run", help="run one paper experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", type=float, default=None, help="population scale factor")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--out", type=str, default=None, help="also write the table here")
+    run.add_argument("--csv", type=str, default=None, help="export the raw points as CSV")
+    run.add_argument("--plot", action="store_true", help="draw an ASCII chart of the scores")
+
+    gen = sub.add_parser("generate", help="generate an instance JSON")
+    gen.add_argument("family", choices=["synthetic", "meetup"])
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--workers", type=int, default=None)
+    gen.add_argument("--tasks", type=int, default=None)
+    gen.add_argument("--seed", type=int, default=7)
+
+    lint = sub.add_parser("lint", help="diagnose an instance JSON")
+    lint.add_argument("instance")
+    lint.add_argument("--verbose", action="store_true", help="print every finding")
+
+    solve = sub.add_parser("solve", help="allocate an instance JSON")
+    solve.add_argument("instance")
+    solve.add_argument("--approach", default="Greedy", help=f"one of {APPROACH_NAMES + ['DFS']}")
+    solve.add_argument("--seed", type=int, default=7)
+    solve.add_argument("--batch-interval", type=float, default=None, help="run the dynamic platform with this interval instead of a single batch")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {doc}")
+    print("approaches:", ", ".join(APPROACH_NAMES + ["DFS"]))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    result = run_experiment(args.experiment, **kwargs)
+    table = format_sweep(result)
+    print(table)
+    if args.plot:
+        from repro.experiments.plot import ascii_chart
+
+        print(ascii_chart(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(table)
+    if args.csv:
+        from repro.experiments.export import save_sweep_csv
+
+        save_sweep_csv(result, args.csv)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "synthetic":
+        config = SyntheticConfig(seed=args.seed)
+        if args.workers:
+            config = replace(config, num_workers=args.workers)
+        if args.tasks:
+            config = replace(config, num_tasks=args.tasks)
+        instance = generate_synthetic(config)
+    else:
+        config = MeetupLikeConfig(seed=args.seed)
+        if args.workers:
+            config = replace(config, num_workers=args.workers)
+        if args.tasks:
+            config = replace(config, num_tasks=args.tasks)
+        instance = generate_meetup_like(config)
+    save_instance(instance, args.out)
+    print(f"wrote {instance.describe()} -> {args.out}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.validation import lint_instance, lint_summary
+
+    instance = load_instance(args.instance)
+    findings = lint_instance(instance)
+    print(instance.describe())
+    print(lint_summary(findings))
+    if args.verbose:
+        for finding in findings:
+            print(f"  [{finding.code}] {finding.detail}")
+    return 0 if not findings else 1
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    allocator = make_allocator(args.approach, seed=args.seed)
+    if args.batch_interval:
+        report = Platform(instance, allocator, batch_interval=args.batch_interval).run()
+        print(report.summary())
+    else:
+        outcome = run_single_batch(instance, allocator)
+        print(
+            f"{allocator.name}: score={outcome.score} "
+            f"in {outcome.elapsed * 1000.0:.1f} ms"
+        )
+        for worker_id, task_id in outcome.assignment.pairs():
+            print(f"  worker {worker_id} -> task {task_id}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Complex-task (multi-skill team) support — the prior art the paper improves on.
+
+Previous work on multi-skill spatial crowdsourcing ([7], [8] in the paper)
+models a *complex task*: one location and deadline plus a set of required
+skills, served by a **team** of workers whose skill union covers the set.
+The DA-SC paper's motivation (Section I) is that a complex task is really a
+bundle of dependency-aware single-worker subtasks — and that assigning the
+whole team up front makes workers idle while they wait for their subtask's
+dependencies.
+
+This package makes that comparison concrete:
+
+* :class:`~repro.complex.model.ComplexTask` and
+  :func:`~repro.complex.model.decompose` — turn a complex task into DA-SC
+  subtasks under a dependency pattern (parallel / chain / custom DAG);
+* :class:`~repro.complex.team.TeamFormation` — a greedy set-cover team
+  allocator in the style of the prior art, with waiting-time accounting
+  (the whole team is reserved until the complex task completes);
+* :func:`~repro.complex.compare.compare_strategies` — run team formation
+  and DA-SC decomposition on the same workload and report completed tasks
+  and worker-hours consumed.
+"""
+
+from repro.complex.compare import StrategyReport, compare_strategies
+from repro.complex.model import ComplexTask, DependencyPattern, decompose
+from repro.complex.team import TeamAssignment, TeamFormation, form_team
+
+__all__ = [
+    "ComplexTask",
+    "DependencyPattern",
+    "StrategyReport",
+    "TeamAssignment",
+    "TeamFormation",
+    "compare_strategies",
+    "decompose",
+    "form_team",
+]

@@ -1,0 +1,147 @@
+"""Complex tasks and their decomposition into DA-SC subtasks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.task import Task
+
+Point = Tuple[float, float]
+
+
+class DependencyPattern(enum.Enum):
+    """How a complex task's subtasks depend on each other.
+
+    * ``PARALLEL`` — no internal ordering (the prior art's implicit model);
+    * ``CHAIN`` — strictly sequential in the listed skill order (pipes →
+      walls → cleaning);
+    * ``CUSTOM`` — an explicit DAG over skill indices.
+    """
+
+    PARALLEL = "parallel"
+    CHAIN = "chain"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class ComplexTask:
+    """A multi-skill task in the style of the prior art ([7], [8]).
+
+    Attributes:
+        id: unique complex-task identifier.
+        location: where all subtasks take place.
+        start: appearance timestamp.
+        wait: validity window (service must start by ``start + wait``).
+        skills: the required skill set, in execution order (order matters
+            only for the CHAIN pattern).
+        subtask_duration: service time of each subtask.
+    """
+
+    id: int
+    location: Point
+    start: float
+    wait: float
+    skills: Tuple[int, ...]
+    subtask_duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.skills:
+            raise ValueError(f"complex task {self.id} requires no skills")
+        if len(set(self.skills)) != len(self.skills):
+            raise ValueError(f"complex task {self.id} lists duplicate skills")
+        if self.wait < 0:
+            raise ValueError(f"complex task {self.id}: negative waiting time")
+        if self.subtask_duration < 0:
+            raise ValueError(f"complex task {self.id}: negative duration")
+
+    @property
+    def deadline(self) -> float:
+        return self.start + self.wait
+
+    @property
+    def team_size(self) -> int:
+        """Workers needed when each subtask takes one worker."""
+        return len(self.skills)
+
+
+def decompose(
+    complex_task: ComplexTask,
+    pattern: DependencyPattern = DependencyPattern.CHAIN,
+    id_base: int = 0,
+    custom_edges: Optional[Mapping[int, Sequence[int]]] = None,
+) -> List[Task]:
+    """Turn a complex task into DA-SC subtasks (the paper's Section I move).
+
+    Args:
+        complex_task: the multi-skill task.
+        pattern: internal dependency structure.
+        id_base: subtask ids are ``id_base + position``.
+        custom_edges: for CUSTOM — maps skill position to the positions it
+            depends on (validated to be earlier positions only, which keeps
+            the result acyclic).
+
+    Returns:
+        One single-skill :class:`~repro.core.task.Task` per required skill,
+        co-located and sharing the complex task's window, wired per the
+        pattern.  CHAIN and CUSTOM dependency sets are emitted transitively
+        closed, matching the generators' convention.
+    """
+    positions = range(len(complex_task.skills))
+    direct: Dict[int, set] = {pos: set() for pos in positions}
+    if pattern is DependencyPattern.CHAIN:
+        for pos in positions:
+            if pos > 0:
+                direct[pos] = {pos - 1}
+    elif pattern is DependencyPattern.CUSTOM:
+        if custom_edges is None:
+            raise ValueError("CUSTOM pattern requires custom_edges")
+        for pos, deps in custom_edges.items():
+            if pos not in direct:
+                raise ValueError(f"custom edge references unknown position {pos}")
+            for dep in deps:
+                if dep not in direct or dep >= pos:
+                    raise ValueError(
+                        f"position {pos} may only depend on earlier positions, "
+                        f"got {dep}"
+                    )
+            direct[pos] = set(deps)
+    elif pattern is not DependencyPattern.PARALLEL:
+        raise ValueError(f"unknown pattern {pattern!r}")
+
+    closed: Dict[int, FrozenSet[int]] = {}
+    for pos in positions:  # positions are already topologically ordered
+        acc = set(direct[pos])
+        for dep in direct[pos]:
+            acc |= closed[dep]
+        closed[pos] = frozenset(acc)
+
+    return [
+        Task(
+            id=id_base + pos,
+            location=complex_task.location,
+            start=complex_task.start,
+            wait=complex_task.wait,
+            skill=complex_task.skills[pos],
+            dependencies=frozenset(id_base + dep for dep in closed[pos]),
+            duration=complex_task.subtask_duration,
+        )
+        for pos in positions
+    ]
+
+
+def decompose_all(
+    complex_tasks: Sequence[ComplexTask],
+    pattern: DependencyPattern = DependencyPattern.CHAIN,
+) -> Tuple[List[Task], Dict[int, List[int]]]:
+    """Decompose a workload; returns tasks plus complex-id -> subtask ids."""
+    tasks: List[Task] = []
+    membership: Dict[int, List[int]] = {}
+    next_id = 0
+    for complex_task in complex_tasks:
+        subtasks = decompose(complex_task, pattern, id_base=next_id)
+        tasks.extend(subtasks)
+        membership[complex_task.id] = [t.id for t in subtasks]
+        next_id += len(subtasks)
+    return tasks, membership

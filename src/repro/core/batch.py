@@ -1,0 +1,77 @@
+"""Batch windows (Section II-D).
+
+The platform assigns workers to tasks batch-by-batch for every constant time
+interval.  :func:`iter_batches` slices an instance into those windows; the
+full dynamic behaviour (workers returning after finishing, cross-batch
+dependency unlocking) lives in :mod:`repro.simulation.platform`, which builds
+on these snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One batch: everything alive at timestamp ``time``.
+
+    Attributes:
+        index: 0-based batch number.
+        time: the batch processing timestamp (end of its interval).
+        workers: workers available for assignment at ``time``.
+        tasks: tasks startable at ``time``.
+    """
+
+    index: int
+    time: float
+    workers: List[Worker]
+    tasks: List[Task]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.workers or not self.tasks
+
+    def __repr__(self) -> str:
+        return (
+            f"Batch(index={self.index}, time={self.time}, "
+            f"workers={len(self.workers)}, tasks={len(self.tasks)})"
+        )
+
+
+def iter_batches(instance: ProblemInstance, interval: float) -> Iterator[Batch]:
+    """Yield batches every ``interval`` time units over the instance horizon.
+
+    Each batch snapshots the workers/tasks active at its timestamp.  This is
+    the *static* view — the same worker may appear in several consecutive
+    batches until assigned; deduplication across batches is the simulator's
+    job.
+
+    Raises:
+        ValueError: when ``interval`` is not positive.
+    """
+    if interval <= 0.0:
+        raise ValueError(f"batch interval must be positive, got {interval}")
+    if not instance.workers and not instance.tasks:
+        return
+    start = instance.earliest_start
+    horizon = instance.horizon
+    count = max(1, math.ceil((horizon - start) / interval + 1e-12))
+    for index in range(count + 1):
+        # batches fire at start, start + interval, ...; the final one is
+        # clamped to the horizon so late arrivals are included
+        time = min(start + index * interval, horizon)
+        yield Batch(
+            index=index,
+            time=time,
+            workers=instance.active_workers(time),
+            tasks=instance.active_tasks(time),
+        )
+        if time >= horizon:
+            break

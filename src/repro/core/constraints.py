@@ -1,0 +1,197 @@
+"""The four constraints of Definition 3 and fast feasible-pair computation.
+
+``pair_feasible`` is the exact, static test from the paper.  The
+:class:`FeasibilityChecker` generalises it with a current time ``now`` (so it
+stays correct mid-simulation, when workers re-enter the pool at new
+positions) and prunes candidates with a grid index before exact checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.distance import DistanceMetric, EuclideanDistance
+from repro.spatial.index import GridIndex
+
+_EUCLIDEAN = EuclideanDistance()
+
+
+def skill_ok(worker: Worker, task: Task) -> bool:
+    """Skill constraint: ``rs_t in WS_w``."""
+    return task.skill in worker.skills
+
+
+def latest_departure(worker: Worker, task: Task, now: float = -math.inf) -> float:
+    """Earliest instant the worker can set off for the task.
+
+    The worker cannot leave before it appears (``s_w``), before the task
+    exists (``s_t``) or before the current time.
+    """
+    return max(worker.start, task.start, now)
+
+
+def deadline_ok(
+    worker: Worker,
+    task: Task,
+    metric: Optional[DistanceMetric] = None,
+    now: float = -math.inf,
+) -> bool:
+    """Deadline constraint of Definition 3.
+
+    (1) the task appears before the worker leaves: ``s_t <= s_w + w_w``, and
+    the worker appears before the task expires;
+    (2) travelling from ``l_w`` at the earliest departure reaches ``l_t`` no
+    later than ``s_t + w_t``.  With ``now = -inf`` this is exactly the
+    paper's ``w_t - max(s_w - s_t, 0) - ct_w(l_w, l_t) >= 0``.
+    """
+    if task.start > worker.deadline or worker.start > task.deadline:
+        return False
+    depart = latest_departure(worker, task, now)
+    if depart > task.deadline or depart > worker.deadline:
+        return False
+    dist = (metric or _EUCLIDEAN)(worker.location, task.location)
+    if dist == 0.0:
+        return True
+    if worker.velocity <= 0.0:
+        return False
+    return depart + dist / worker.velocity <= task.deadline
+
+
+def within_range(worker: Worker, task: Task, metric: Optional[DistanceMetric] = None) -> bool:
+    """Maximum-moving-distance constraint: ``dist(l_w, l_t) <= d_w``."""
+    return (metric or _EUCLIDEAN)(worker.location, task.location) <= worker.max_distance
+
+
+def pair_feasible(
+    worker: Worker,
+    task: Task,
+    metric: Optional[DistanceMetric] = None,
+    now: float = -math.inf,
+) -> bool:
+    """Whether ``(w, t)`` satisfies skill, deadline and distance constraints.
+
+    The exclusivity and dependency constraints are properties of a whole
+    assignment, not of a pair, and are checked by
+    :class:`repro.core.assignment.Assignment`.
+    """
+    return (
+        skill_ok(worker, task)
+        and within_range(worker, task, metric)
+        and deadline_ok(worker, task, metric, now)
+    )
+
+
+class FeasibilityChecker:
+    """Precomputes the feasible worker/task pairs of a batch.
+
+    Args:
+        workers: candidate workers.
+        tasks: candidate tasks.
+        metric: distance function (Euclidean default).
+        now: the batch timestamp; pairs must be startable at or after it.
+        use_index: prune with a grid index when the metric declares
+            ``euclidean_lower_bound`` (Euclidean, Manhattan, road-network).
+            Other metrics fall back to exhaustive checking, which is always
+            correct.
+
+    The per-worker pruning radius is ``min(d_w, v_w * (latest task deadline -
+    earliest departure))`` — no feasible task can lie outside it (for
+    lower-bounded metrics the Euclidean disc over-approximates the true
+    reachable region, which is exactly what a prune needs).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        metric: Optional[DistanceMetric] = None,
+        now: float = -math.inf,
+        use_index: bool = True,
+    ) -> None:
+        self.workers = list(workers)
+        self.tasks = list(tasks)
+        self.metric = metric or _EUCLIDEAN
+        self.now = now
+        self._worker_by_id = {w.id: w for w in self.workers}
+        self._task_by_id = {t.id: t for t in self.tasks}
+        use_grid = use_index and self.metric.euclidean_lower_bound and self.tasks
+        self._tasks_of, self._workers_of = (
+            self._build_with_index() if use_grid else self._build_exhaustive()
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def tasks_of(self, worker_id: int) -> List[int]:
+        """Task ids feasible for the worker (the strategy space ``S_w``)."""
+        return self._tasks_of.get(worker_id, [])
+
+    def workers_of(self, task_id: int) -> List[int]:
+        """Worker ids able to serve the task."""
+        return self._workers_of.get(task_id, [])
+
+    def feasible(self, worker_id: int, task_id: int) -> bool:
+        return task_id in set(self._tasks_of.get(worker_id, ()))
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All feasible ``(worker_id, task_id)`` pairs."""
+        for wid, tids in self._tasks_of.items():
+            for tid in tids:
+                yield (wid, tid)
+
+    def pair_count(self) -> int:
+        return sum(len(tids) for tids in self._tasks_of.values())
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_exhaustive(
+        self,
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
+        workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
+        for worker in self.workers:
+            for task in self.tasks:
+                if pair_feasible(worker, task, self.metric, self.now):
+                    tasks_of[worker.id].append(task.id)
+                    workers_of[task.id].append(worker.id)
+        return tasks_of, workers_of
+
+    def _build_with_index(
+        self,
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        latest_deadline = max(t.deadline for t in self.tasks)
+        spans = [
+            min(w.max_distance, w.velocity * max(0.0, latest_deadline - max(w.start, self.now)))
+            for w in self.workers
+        ]
+        positive = sorted(s for s in spans if s > 0.0)
+        cell = positive[len(positive) // 2] if positive else 1.0
+        # Keep the cell a sane fraction of the data extent: degenerate spans
+        # (near-zero velocities) must not shatter the grid into billions of
+        # cells that large-radius queries would then have to cross.
+        xs = [t.location[0] for t in self.tasks]
+        ys = [t.location[1] for t in self.tasks]
+        extent = max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+        if cell > extent / 2.0:
+            # typical reach spans most of the region: the index cannot prune
+            # anything, so skip its bookkeeping entirely.
+            return self._build_exhaustive()
+        floor_cell = extent / max(4.0, math.sqrt(len(self.tasks)) * 2.0)
+        index: GridIndex[int] = GridIndex(cell_size=max(cell, floor_cell, 1e-9))
+        index.insert_many((t.id, t.location) for t in self.tasks)
+
+        tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
+        workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
+        for worker, span in zip(self.workers, spans):
+            for tid in index.query_radius(worker.location, span):
+                task = self._task_by_id[tid]
+                if pair_feasible(worker, task, self.metric, self.now):
+                    tasks_of[worker.id].append(tid)
+                    workers_of[tid].append(worker.id)
+        for wid in tasks_of:
+            tasks_of[wid].sort()
+        for tid in workers_of:
+            workers_of[tid].sort()
+        return tasks_of, workers_of

@@ -1,0 +1,204 @@
+"""The task dependency DAG and associative task sets (Sections II-B, III-A).
+
+``DependencyGraph`` stores, for every task id, its *direct* dependency set
+and offers:
+
+* acyclicity validation and a topological order;
+* transitive closure (``ancestors``) and its dual (``descendants``);
+* the associative task sets ``tc_i = {t_i} ∪ closure(D_i)`` driving
+  ``DASC_Greedy``;
+* dependency-satisfaction tests against a set of already-assigned ids.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Set,
+)
+
+from repro.core.exceptions import DascError
+
+
+class CyclicDependencyError(DascError):
+    """The dependency relation contains a cycle (forbidden by Section II-B)."""
+
+    def __init__(self, cycle: List[int]) -> None:
+        super().__init__(f"dependency cycle detected: {' -> '.join(map(str, cycle))}")
+        self.cycle = cycle
+
+
+class DependencyGraph:
+    """An immutable DAG over task ids.
+
+    Args:
+        direct: mapping from task id to its direct dependency ids.  Every id
+            referenced as a dependency must itself be a key (tasks with no
+            dependencies map to an empty set).
+
+    Raises:
+        DascError: when a dependency references an unknown task id.
+        CyclicDependencyError: when the relation is cyclic.
+    """
+
+    def __init__(self, direct: Mapping[int, Iterable[int]]) -> None:
+        self._direct: Dict[int, FrozenSet[int]] = {
+            tid: frozenset(deps) for tid, deps in direct.items()
+        }
+        known = set(self._direct)
+        for tid, deps in self._direct.items():
+            missing = deps - known
+            if missing:
+                raise DascError(
+                    f"task {tid} depends on unknown task(s) {sorted(missing)}"
+                )
+        self._order = self._topological_order()
+        self._ancestors = self._close()
+        self._dependents = self._invert(self._direct)
+        self._descendants = self._invert(self._ancestors)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_tasks(cls, tasks: Iterable) -> "DependencyGraph":
+        """Build from objects exposing ``.id`` and ``.dependencies``."""
+        return cls({t.id: t.dependencies for t in tasks})
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._direct)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._direct
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._direct)
+
+    def direct_dependencies(self, tid: int) -> FrozenSet[int]:
+        """The direct dependency set ``D_t``."""
+        return self._direct[tid]
+
+    def ancestors(self, tid: int) -> FrozenSet[int]:
+        """Transitive closure of ``D_t`` (everything that must precede t)."""
+        return self._ancestors[tid]
+
+    def direct_dependents(self, tid: int) -> FrozenSet[int]:
+        """Tasks whose direct dependency set contains ``tid``."""
+        return self._dependents[tid]
+
+    def descendants(self, tid: int) -> FrozenSet[int]:
+        """Tasks transitively depending on ``tid``."""
+        return self._descendants[tid]
+
+    def roots(self) -> List[int]:
+        """Tasks with no dependencies, in id order."""
+        return sorted(tid for tid, deps in self._direct.items() if not deps)
+
+    def topological_order(self) -> List[int]:
+        """A dependency-respecting order (dependencies before dependents)."""
+        return list(self._order)
+
+    def associative_set(self, tid: int) -> FrozenSet[int]:
+        """The associative task set ``tc_i = {t_i} ∪ closure(D_i)``."""
+        return self._ancestors[tid] | {tid}
+
+    def associative_sets(self) -> Dict[int, FrozenSet[int]]:
+        """All associative task sets, keyed by the defining task id."""
+        return {tid: self.associative_set(tid) for tid in self._direct}
+
+    def satisfied(self, tid: int, assigned: AbstractSet[int]) -> bool:
+        """Dependency constraint of Definition 3 for task ``tid``.
+
+        True iff every *direct* dependency is in ``assigned``.  (With closed
+        generators direct == transitive; the graph does not require closure,
+        so this checks exactly the paper's ``prod_{t' in D_t} a_{t'} = 1``.)
+        """
+        return self._direct[tid] <= assigned
+
+    def ready_tasks(self, assigned: AbstractSet[int]) -> List[int]:
+        """Unassigned tasks whose dependency constraint currently holds."""
+        return [
+            tid
+            for tid in self._direct
+            if tid not in assigned and self.satisfied(tid, assigned)
+        ]
+
+    def depth(self, tid: int) -> int:
+        """Length of the longest dependency chain below ``tid`` (roots = 0)."""
+        return self._depths[tid]
+
+    # -- internals --------------------------------------------------------------
+
+    def _topological_order(self) -> List[int]:
+        indegree: Dict[int, int] = {tid: len(deps) for tid, deps in self._direct.items()}
+        dependents: Dict[int, List[int]] = {tid: [] for tid in self._direct}
+        for tid, deps in self._direct.items():
+            for dep in deps:
+                dependents[dep].append(tid)
+        queue = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        order: List[int] = []
+        depths: Dict[int, int] = {tid: 0 for tid in queue}
+        head = 0
+        while head < len(queue):
+            tid = queue[head]
+            head += 1
+            order.append(tid)
+            for nxt in dependents[tid]:
+                indegree[nxt] -= 1
+                depths[nxt] = max(depths.get(nxt, 0), depths[tid] + 1)
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(self._direct):
+            raise CyclicDependencyError(self._find_cycle())
+        self._depths = depths
+        return order
+
+    def _find_cycle(self) -> List[int]:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {tid: WHITE for tid in self._direct}
+        stack: List[int] = []
+
+        def visit(tid: int) -> List[int] | None:
+            color[tid] = GRAY
+            stack.append(tid)
+            for dep in self._direct[tid]:
+                if color[dep] == GRAY:
+                    return stack[stack.index(dep):] + [dep]
+                if color[dep] == WHITE:
+                    found = visit(dep)
+                    if found is not None:
+                        return found
+            color[tid] = BLACK
+            stack.pop()
+            return None
+
+        for tid in self._direct:
+            if color[tid] == WHITE:
+                found = visit(tid)
+                if found is not None:
+                    return found
+        return []  # pragma: no cover — only reached if no cycle exists
+
+    def _close(self) -> Dict[int, FrozenSet[int]]:
+        closure: Dict[int, FrozenSet[int]] = {}
+        for tid in self._order:
+            acc: Set[int] = set(self._direct[tid])
+            for dep in self._direct[tid]:
+                acc |= closure[dep]
+            closure[tid] = frozenset(acc)
+        return closure
+
+    @staticmethod
+    def _invert(relation: Mapping[int, FrozenSet[int]]) -> Dict[int, FrozenSet[int]]:
+        out: Dict[int, Set[int]] = {tid: set() for tid in relation}
+        for tid, deps in relation.items():
+            for dep in deps:
+                out[dep].add(tid)
+        return {tid: frozenset(vals) for tid, vals in out.items()}

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the DA-SC library."""
+
+from __future__ import annotations
+
+
+class DascError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidInstanceError(DascError):
+    """A problem instance violates a structural invariant.
+
+    Examples: a task depends on an unknown task id, duplicate ids, a task
+    requiring a skill outside the declared universe.
+    """
+
+
+class AllocationError(DascError):
+    """An allocator was invoked with inputs it cannot process."""

@@ -1,0 +1,143 @@
+"""Incrementally-maintained feasible-pair graph.
+
+:class:`~repro.core.constraints.FeasibilityChecker` rebuilds from scratch
+every batch; on a long-running platform most workers and tasks survive
+from one batch to the next, so rebuilding is wasted work.
+:class:`IncrementalFeasibility` maintains the pair graph under worker/task
+arrivals and departures instead.
+
+Key observation making this sound: with a fixed worker position, pair
+feasibility is *monotone non-increasing in time* (the departure
+``max(s_w, s_t, now)`` only moves later), so pairs computed at insertion
+under the static constraints (skill, distance budget, window overlap,
+reachability at the earliest possible departure) are a superset of the
+feasible pairs at any later ``now`` — queries re-check the cheap
+time-dependent predicate lazily and never miss a pair.
+
+A worker that moves (rejoins at a new location) must be re-inserted;
+:meth:`update_worker` does remove+add in one call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.constraints import deadline_ok, pair_feasible
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.distance import DistanceMetric, EuclideanDistance
+from repro.spatial.index import GridIndex
+
+
+class IncrementalFeasibility:
+    """Feasible worker/task pairs under insertions and deletions.
+
+    Args:
+        metric: distance function; grid pruning engages when the metric
+            dominates the Euclidean distance.
+        cell_size: task-index cell size; pass the typical worker reach for
+            best pruning (anything positive is correct).
+    """
+
+    def __init__(
+        self,
+        metric: Optional[DistanceMetric] = None,
+        cell_size: float = 0.1,
+    ) -> None:
+        self.metric = metric or EuclideanDistance()
+        self._workers: Dict[int, Worker] = {}
+        self._tasks: Dict[int, Task] = {}
+        self._task_index: GridIndex[int] = GridIndex(cell_size=cell_size)
+        self._tasks_of: Dict[int, Set[int]] = {}
+        self._workers_of: Dict[int, Set[int]] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_task(self, task: Task) -> None:
+        """Register a task and link it to every statically-feasible worker."""
+        if task.id in self._tasks:
+            raise KeyError(f"task {task.id} already present")
+        self._tasks[task.id] = task
+        self._task_index.insert(task.id, task.location)
+        self._workers_of[task.id] = set()
+        for worker in self._workers.values():
+            self._maybe_link(worker, task)
+
+    def remove_task(self, task_id: int) -> None:
+        task = self._tasks.pop(task_id)
+        self._task_index.remove(task_id)
+        for worker_id in self._workers_of.pop(task_id):
+            self._tasks_of[worker_id].discard(task_id)
+
+    def add_worker(self, worker: Worker) -> None:
+        """Register a worker; candidate tasks found via the spatial index."""
+        if worker.id in self._workers:
+            raise KeyError(f"worker {worker.id} already present")
+        self._workers[worker.id] = worker
+        self._tasks_of[worker.id] = set()
+        if self.metric.euclidean_lower_bound and self._tasks:
+            horizon = max(t.deadline for t in self._tasks.values())
+            reach = min(
+                worker.max_distance,
+                worker.velocity * max(0.0, horizon - worker.start),
+            )
+            candidates: Iterable[int] = self._task_index.query_radius(
+                worker.location, reach
+            )
+        else:
+            candidates = list(self._tasks)
+        for task_id in candidates:
+            self._maybe_link(worker, self._tasks[task_id])
+
+    def remove_worker(self, worker_id: int) -> None:
+        del self._workers[worker_id]
+        for task_id in self._tasks_of.pop(worker_id):
+            self._workers_of[task_id].discard(worker_id)
+
+    def update_worker(self, worker: Worker) -> None:
+        """Re-insert a worker whose position/window changed (rejoin)."""
+        if worker.id in self._workers:
+            self.remove_worker(worker.id)
+        self.add_worker(worker)
+
+    # -- queries -----------------------------------------------------------------
+
+    def tasks_of(self, worker_id: int, now: float = -math.inf) -> List[int]:
+        """Feasible tasks for the worker at time ``now``, sorted."""
+        worker = self._workers[worker_id]
+        return sorted(
+            tid
+            for tid in self._tasks_of.get(worker_id, ())
+            if deadline_ok(worker, self._tasks[tid], self.metric, now)
+        )
+
+    def workers_of(self, task_id: int, now: float = -math.inf) -> List[int]:
+        """Feasible workers for the task at time ``now``, sorted."""
+        task = self._tasks[task_id]
+        return sorted(
+            wid
+            for wid in self._workers_of.get(task_id, ())
+            if deadline_ok(self._workers[wid], task, self.metric, now)
+        )
+
+    def pair_count(self, now: float = -math.inf) -> int:
+        return sum(len(self.tasks_of(wid, now)) for wid in self._workers)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _maybe_link(self, worker: Worker, task: Task) -> None:
+        # Static superset test: full feasibility at the earliest possible
+        # departure.  Later `now` values only shrink feasibility, which the
+        # lazy query filter handles.
+        if pair_feasible(worker, task, self.metric):
+            self._tasks_of[worker.id].add(task.id)
+            self._workers_of[task.id].add(worker.id)

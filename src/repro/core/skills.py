@@ -1,0 +1,83 @@
+"""The skill universe Psi = {psi_1, ..., psi_r} (Section II-A).
+
+Skills are represented as small integers ``0..r-1`` throughout the library
+for speed; :class:`SkillUniverse` provides the mapping to human-readable
+names when one exists (e.g. Meetup tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass
+class SkillUniverse:
+    """A fixed-size universe of ``r`` skills with optional names.
+
+    Args:
+        size: the number ``r`` of distinct skills.
+        names: optional human-readable names; padded/derived when shorter
+            than ``size``.
+    """
+
+    size: int
+    names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"skill universe must be non-empty, got size={self.size}")
+        if len(self.names) > self.size:
+            raise ValueError(
+                f"{len(self.names)} names given for a universe of {self.size} skills"
+            )
+        self.names = list(self.names) + [
+            f"skill-{i}" for i in range(len(self.names), self.size)
+        ]
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(self.names)}
+        if len(self._index) != self.size:
+            raise ValueError("skill names must be unique")
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "SkillUniverse":
+        names = list(names)
+        return cls(size=len(names), names=names)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def __contains__(self, skill: int) -> bool:
+        return isinstance(skill, int) and 0 <= skill < self.size
+
+    def name_of(self, skill: int) -> str:
+        """Human-readable name of a skill id."""
+        self.validate(skill)
+        return self.names[skill]
+
+    def id_of(self, name: str) -> int:
+        """Skill id of a name; raises KeyError when unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown skill name {name!r}") from None
+
+    def validate(self, skill: int) -> int:
+        """Return ``skill`` unchanged, raising ValueError if out of range."""
+        if skill not in self:
+            raise ValueError(f"skill {skill!r} outside universe of size {self.size}")
+        return skill
+
+    def validate_set(self, skills: Iterable[int]) -> frozenset:
+        """Validate every member and return a frozenset."""
+        out = frozenset(skills)
+        for skill in out:
+            self.validate(skill)
+        return out
+
+    def describe(self, skills: Optional[Iterable[int]] = None) -> str:
+        """Comma-joined names, for logs and examples."""
+        ids = sorted(skills) if skills is not None else list(self)
+        return ", ".join(self.names[i] for i in ids)

@@ -1,0 +1,26 @@
+"""Workload generators for the evaluation's two dataset families.
+
+* :class:`~repro.datagen.synthetic.SyntheticConfig` /
+  :func:`~repro.datagen.synthetic.generate_synthetic` — the uniform
+  synthetic workloads of Table V;
+* :class:`~repro.datagen.meetup.MeetupLikeConfig` /
+  :func:`~repro.datagen.meetup.generate_meetup_like` — a synthetic
+  event-based social network standing in for the Meetup crawl of Table IV
+  (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.datagen.dependencies import closed_dependency_sample, wire_dependencies
+from repro.datagen.distributions import IntRange, Range
+from repro.datagen.meetup import MeetupLikeConfig, generate_meetup_like
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+__all__ = [
+    "IntRange",
+    "MeetupLikeConfig",
+    "Range",
+    "SyntheticConfig",
+    "closed_dependency_sample",
+    "generate_meetup_like",
+    "generate_synthetic",
+    "wire_dependencies",
+]

@@ -1,0 +1,92 @@
+"""Dependency wiring shared by both generators (Section V-A).
+
+The paper's recipe: for each task ``t`` (in creation order), repeatedly add a
+randomly-chosen earlier task *and its whole dependency set* into ``D_t``
+until the target size is reached.  Adding closures keeps every emitted
+``D_t`` transitively closed (if ``t_a`` depends on ``t_b`` and ``t_b`` on
+``t_c``, then ``t_a`` lists ``t_c``), and restricting candidates to earlier
+tasks makes cycles impossible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from repro.datagen.distributions import IntRange
+
+
+def closed_dependency_sample(
+    candidates: Sequence[int],
+    closures: Dict[int, FrozenSet[int]],
+    target_size: int,
+    rng: random.Random,
+) -> FrozenSet[int]:
+    """Draw a transitively-closed dependency set of roughly ``target_size``.
+
+    Args:
+        candidates: ids of earlier tasks eligible as dependencies.
+        closures: for each candidate, its own (already closed) dependency
+            set; the returned set always includes the closure of every
+            member.
+        target_size: stop growing once the set reaches this many tasks.  The
+            result can overshoot by one closure (the paper's loop has the
+            same behaviour) and undershoots when candidates run out.
+
+    Returns:
+        A frozenset of dependency ids.
+    """
+    if target_size <= 0 or not candidates:
+        return frozenset()
+    chosen: Set[int] = set()
+    pool = list(candidates)
+    rng.shuffle(pool)
+    for candidate in pool:
+        if len(chosen) >= target_size:
+            break
+        if candidate in chosen:
+            continue
+        chosen.add(candidate)
+        chosen |= closures[candidate]
+    return frozenset(chosen)
+
+
+def wire_dependencies(
+    ordered_ids: Sequence[int],
+    size_range: IntRange,
+    rng: random.Random,
+    groups: Dict[int, int] | None = None,
+) -> Dict[int, FrozenSet[int]]:
+    """Assign a dependency set to every task id, in creation order.
+
+    Args:
+        ordered_ids: task ids sorted by creation time.
+        size_range: per-task target dependency-set size (Table V's
+            ``[0, 50] .. [0, 90]``), clamped to the number of eligible
+            earlier tasks.
+        rng: the generator's RNG.
+        groups: optional task-id -> group-id map; when given, dependencies
+            only form within a group (the real-data recipe, where a task
+            group stems from one Meetup event).
+
+    Returns:
+        task id -> transitively-closed dependency frozenset.
+    """
+    closures: Dict[int, FrozenSet[int]] = {}
+    earlier_by_group: Dict[int, List[int]] = {}
+    earlier_all: List[int] = []
+    out: Dict[int, FrozenSet[int]] = {}
+    for tid in ordered_ids:
+        if groups is None:
+            candidates: Sequence[int] = earlier_all
+        else:
+            candidates = earlier_by_group.setdefault(groups[tid], [])
+        target = size_range.clamped(len(candidates)).sample(rng)
+        deps = closed_dependency_sample(candidates, closures, target, rng)
+        out[tid] = deps
+        closures[tid] = deps
+        if groups is None:
+            earlier_all.append(tid)
+        else:
+            earlier_by_group[groups[tid]].append(tid)
+    return out

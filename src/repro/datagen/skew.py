@@ -1,0 +1,115 @@
+"""Skewed spatial/temporal samplers (robustness extension).
+
+Table V's synthetic data is uniform in space and time.  Real crowdsourcing
+is not: demand clusters in hotspots and peaks at rush hours.  These sampler
+factories plug into :class:`~repro.datagen.synthetic.SyntheticConfig` via
+its ``spatial``/``temporal`` fields so the robustness of the paper's
+conclusions under skew can be measured
+(`benchmarks/bench_ablation_skew.py`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from repro.datagen.distributions import Range
+from repro.spatial.region import BoundingBox
+
+Point = Tuple[float, float]
+SpatialSampler = Callable[[random.Random], Point]
+TemporalSampler = Callable[[random.Random], float]
+
+#: Recognised spatial modes.
+SPATIAL_MODES = ("uniform", "hotspots")
+#: Recognised temporal modes.
+TEMPORAL_MODES = ("uniform", "rush")
+
+
+def spatial_sampler(
+    mode: str,
+    region: BoundingBox,
+    rng: random.Random,
+    num_hotspots: int = 4,
+    hotspot_sigma_fraction: float = 0.06,
+) -> SpatialSampler:
+    """Build a location sampler.
+
+    Args:
+        mode: ``uniform`` (Table V) or ``hotspots`` (Gaussian mixture whose
+            centres are drawn once from ``rng``).
+        region: the data space; all samples are clamped into it.
+        rng: source for the hotspot centres (NOT for the per-point draws —
+            the returned sampler takes its own RNG so attribute substreams
+            stay independent).
+        num_hotspots: mixture size for ``hotspots``.
+        hotspot_sigma_fraction: per-hotspot sigma as a fraction of the
+            region's larger side.
+
+    Raises:
+        ValueError: on an unknown mode or degenerate parameters.
+    """
+    if mode == "uniform":
+        return lambda r: region.sample(r)
+    if mode != "hotspots":
+        raise ValueError(f"unknown spatial mode {mode!r}; expected {SPATIAL_MODES}")
+    if num_hotspots < 1:
+        raise ValueError(f"need at least one hotspot, got {num_hotspots}")
+    centers: List[Point] = [region.sample(rng) for _ in range(num_hotspots)]
+    sigma = max(region.width, region.height) * hotspot_sigma_fraction
+    if sigma <= 0.0:
+        raise ValueError("hotspot sigma must be positive")
+
+    def sample(r: random.Random) -> Point:
+        cx, cy = r.choice(centers)
+        return region.clamp((r.gauss(cx, sigma), r.gauss(cy, sigma)))
+
+    return sample
+
+
+def temporal_sampler(
+    mode: str,
+    window: Range,
+    rng: random.Random,
+    num_peaks: int = 2,
+    peak_sigma_fraction: float = 0.05,
+) -> TemporalSampler:
+    """Build a start-time sampler.
+
+    ``uniform`` draws from the window; ``rush`` is a mixture of Gaussians
+    at peak times drawn once from ``rng`` (morning/evening rush), clamped
+    into the window.
+    """
+    if mode == "uniform":
+        return lambda r: window.sample(r)
+    if mode != "rush":
+        raise ValueError(f"unknown temporal mode {mode!r}; expected {TEMPORAL_MODES}")
+    if num_peaks < 1:
+        raise ValueError(f"need at least one peak, got {num_peaks}")
+    span = window.high - window.low
+    peaks = sorted(window.sample(rng) for _ in range(num_peaks))
+    sigma = max(span * peak_sigma_fraction, 1e-9)
+
+    def sample(r: random.Random) -> float:
+        peak = r.choice(peaks)
+        value = r.gauss(peak, sigma)
+        return min(max(value, window.low), window.high)
+
+    return sample
+
+
+def clustering_coefficient(points: Sequence[Point], region: BoundingBox, cells: int = 8) -> float:
+    """A simple skew measure: fraction of points in the busiest grid cell,
+    normalised by the uniform expectation (1.0 = uniform, >1 = clustered).
+
+    Used by tests to verify that the hotspot sampler actually clusters.
+    """
+    if not points:
+        return 0.0
+    counts: dict = {}
+    for x, y in points:
+        i = min(int((x - region.min_x) / max(region.width, 1e-12) * cells), cells - 1)
+        j = min(int((y - region.min_y) / max(region.height, 1e-12) * cells), cells - 1)
+        counts[(i, j)] = counts.get((i, j), 0) + 1
+    uniform_share = 1.0 / (cells * cells)
+    return (max(counts.values()) / len(points)) / uniform_share

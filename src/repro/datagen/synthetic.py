@@ -1,0 +1,148 @@
+"""Synthetic workloads per Table V.
+
+Locations are uniform over ``[0, 0.5]^2``; every numeric attribute is drawn
+uniformly from its configured range.  Defaults are the bold (default) column
+of Table V; the ``*0.01`` / ``*0.1`` factors of the velocity and distance
+rows are already applied.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datagen.dependencies import wire_dependencies
+from repro.datagen.distributions import IntRange, Range, substream
+from repro.datagen.skew import spatial_sampler, temporal_sampler
+from repro.spatial.region import UNIT_HALF_BOX, BoundingBox
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of Table V (paper defaults in the field defaults).
+
+    ``scaled(factor)`` shrinks the population for laptop-speed sweeps while
+    keeping every per-entity distribution identical, so algorithm rankings
+    and trend directions are preserved (see EXPERIMENTS.md).
+    """
+
+    num_workers: int = 5000
+    num_tasks: int = 5000
+    skill_universe: int = 1500
+    dependency_size: IntRange = field(default_factory=lambda: IntRange(0, 70))
+    worker_skills: IntRange = field(default_factory=lambda: IntRange(1, 15))
+    start_time: Range = field(default_factory=lambda: Range(0.0, 75.0))
+    waiting_time: Range = field(default_factory=lambda: Range(10.0, 15.0))
+    velocity: Range = field(default_factory=lambda: Range(0.03, 0.04))
+    max_distance: Range = field(default_factory=lambda: Range(0.3, 0.4))
+    region: BoundingBox = UNIT_HALF_BOX
+    task_duration: float = 0.0
+    #: ``uniform`` (Table V) or ``hotspots`` — see :mod:`repro.datagen.skew`.
+    spatial: str = "uniform"
+    #: ``uniform`` (Table V) or ``rush`` — see :mod:`repro.datagen.skew`.
+    temporal: str = "uniform"
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "SyntheticConfig":
+        """Population scaled by ``factor``.
+
+        The dependency-size range and the skill universe scale with the
+        population: dependency chains keep the same depth *relative to the
+        task count*, and the expected number of capable workers per task
+        (``n * |WS| / r``) stays at its paper value, which is what preserves
+        contention and therefore the algorithms' relative behaviour.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        dep = IntRange(
+            int(round(self.dependency_size.low * factor)),
+            max(
+                int(round(self.dependency_size.low * factor)),
+                int(round(self.dependency_size.high * factor)),
+            ),
+        )
+        return replace(
+            self,
+            num_workers=max(1, int(round(self.num_workers * factor))),
+            num_tasks=max(1, int(round(self.num_tasks * factor))),
+            skill_universe=max(10, int(round(self.skill_universe * factor))),
+            dependency_size=dep,
+        )
+
+    def with_seed(self, seed: int) -> "SyntheticConfig":
+        return replace(self, seed=seed)
+
+
+def generate_synthetic(config: SyntheticConfig | None = None) -> ProblemInstance:
+    """Generate a synthetic DA-SC instance (Section V-A, synthetic recipe).
+
+    Each attribute family draws from its own RNG substream (common random
+    numbers): sweeping, say, the velocity range leaves every location,
+    timestamp, skill and dependency draw untouched, so experiment curves
+    isolate the swept parameter.
+    """
+    cfg = config or SyntheticConfig()
+    if cfg.num_workers < 1 or cfg.num_tasks < 1:
+        raise ValueError("need at least one worker and one task")
+    rng_loc = substream(cfg.seed, "worker-location")
+    rng_time = substream(cfg.seed, "worker-time")
+    rng_motion = substream(cfg.seed, "worker-motion")
+    rng_wskill = substream(cfg.seed, "worker-skills")
+    rng_tloc = substream(cfg.seed, "task-location")
+    rng_ttime = substream(cfg.seed, "task-time")
+    rng_tskill = substream(cfg.seed, "task-skill")
+    rng_dep = substream(cfg.seed, "dependencies")
+    skills = SkillUniverse(cfg.skill_universe)
+    # Skew structures (hotspot centres, rush peaks) are drawn from their own
+    # stream; workers and tasks share them, which is what clusters demand
+    # and supply in the same places/times.
+    rng_skew = substream(cfg.seed, "skew-structure")
+    sample_location = spatial_sampler(cfg.spatial, cfg.region, rng_skew)
+    sample_start = temporal_sampler(cfg.temporal, cfg.start_time, rng_skew)
+
+    workers: List[Worker] = []
+    for wid in range(cfg.num_workers):
+        count = cfg.worker_skills.clamped(len(skills)).sample(rng_wskill)
+        workers.append(
+            Worker(
+                id=wid,
+                location=sample_location(rng_loc),
+                start=sample_start(rng_time),
+                wait=cfg.waiting_time.sample(rng_time),
+                velocity=cfg.velocity.sample(rng_motion),
+                max_distance=cfg.max_distance.sample(rng_motion),
+                skills=frozenset(rng_wskill.sample(range(len(skills)), max(1, count))),
+            )
+        )
+
+    # Tasks are created in start-time order so "earlier" in the dependency
+    # recipe matches temporal precedence, as in the paper.
+    starts = sorted(sample_start(rng_ttime) for _ in range(cfg.num_tasks))
+    ordered_ids = list(range(cfg.num_tasks))
+    deps = wire_dependencies(ordered_ids, cfg.dependency_size, rng_dep)
+    tasks: List[Task] = []
+    for tid in ordered_ids:
+        tasks.append(
+            Task(
+                id=tid,
+                location=sample_location(rng_tloc),
+                start=starts[tid],
+                wait=cfg.waiting_time.sample(rng_ttime),
+                skill=rng_tskill.randrange(len(skills)),
+                dependencies=deps[tid],
+                duration=cfg.task_duration,
+            )
+        )
+
+    mean_dep = sum(len(d) for d in deps.values()) / max(1, len(deps))
+    name = (
+        f"synthetic(n={cfg.num_workers},m={cfg.num_tasks},r={cfg.skill_universe},"
+        f"|D|~{mean_dep:.1f},seed={cfg.seed})"
+    )
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills, name=name)

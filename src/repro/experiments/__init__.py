@@ -1,0 +1,58 @@
+"""Experiment harness reproducing every table and figure of Section V.
+
+``repro.experiments.runner`` exposes one ``run_*`` function per experiment
+(``run_table6``, ``run_fig2`` ... ``run_fig15``); each returns a
+:class:`~repro.experiments.harness.SweepResult` that
+:func:`~repro.experiments.report.format_sweep` renders as the paper's
+score/running-time series.
+"""
+
+from repro.experiments.configs import (
+    REAL_DEFAULTS,
+    REAL_SWEEPS,
+    SMALL_SCALE,
+    SYNTH_DEFAULTS,
+    SYNTH_SWEEPS,
+)
+from repro.experiments.harness import SweepPoint, SweepResult, evaluate_approaches
+from repro.experiments.aggregate import (
+    AggregateResult,
+    aggregate_sweeps,
+    format_aggregate,
+    run_repeated_sweep,
+)
+from repro.experiments.export import (
+    load_sweep_json,
+    save_sweep_csv,
+    save_sweep_json,
+    sweep_to_csv,
+)
+from repro.experiments.plot import ascii_chart
+from repro.experiments.report import format_sweep
+from repro.experiments.significance import PairedComparison, compare_paired_scores
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "AggregateResult",
+    "EXPERIMENTS",
+    "REAL_DEFAULTS",
+    "REAL_SWEEPS",
+    "SMALL_SCALE",
+    "SYNTH_DEFAULTS",
+    "SYNTH_SWEEPS",
+    "SweepPoint",
+    "SweepResult",
+    "evaluate_approaches",
+    "aggregate_sweeps",
+    "ascii_chart",
+    "compare_paired_scores",
+    "format_aggregate",
+    "format_sweep",
+    "load_sweep_json",
+    "PairedComparison",
+    "run_repeated_sweep",
+    "save_sweep_csv",
+    "save_sweep_json",
+    "sweep_to_csv",
+    "run_experiment",
+]

@@ -1,0 +1,137 @@
+"""Multi-seed aggregation of sweeps: mean and spread per point.
+
+Single-seed sweeps can be noisy at bench scale; the paper reports one run
+per point but at 5K x 5K populations.  :func:`run_repeated_sweep` replays a
+runner across several seeds and averages, giving smooth curves at any
+scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.harness import SweepResult
+
+
+@dataclass(frozen=True)
+class AggregatePoint:
+    """Mean/stdev of one (label, approach) cell across seeds."""
+
+    label: str
+    approach: str
+    mean_score: float
+    std_score: float
+    mean_elapsed: float
+    runs: int
+
+
+@dataclass
+class AggregateResult:
+    """A sweep averaged over seeds."""
+
+    name: str
+    parameter: str
+    seeds: List[int]
+    points: List[AggregatePoint] = field(default_factory=list)
+
+    @property
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.label not in seen:
+                seen.append(point.label)
+        return seen
+
+    @property
+    def approaches(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.approach not in seen:
+                seen.append(point.approach)
+        return seen
+
+    def point(self, label: str, approach: str) -> AggregatePoint:
+        for candidate in self.points:
+            if candidate.label == label and candidate.approach == approach:
+                return candidate
+        raise KeyError(f"no point for ({label!r}, {approach!r})")
+
+    def mean_scores_of(self, approach: str) -> List[float]:
+        return [self.point(label, approach).mean_score for label in self.labels]
+
+
+def aggregate_sweeps(results: Sequence[SweepResult], seeds: Sequence[int]) -> AggregateResult:
+    """Average several same-shape sweeps (one per seed) cell by cell.
+
+    Raises:
+        ValueError: when the sweeps disagree on labels or approaches.
+    """
+    if not results:
+        raise ValueError("need at least one sweep to aggregate")
+    first = results[0]
+    for other in results[1:]:
+        if other.labels != first.labels or other.approaches != first.approaches:
+            raise ValueError("sweeps have mismatching labels/approaches")
+    out = AggregateResult(
+        name=first.name, parameter=first.parameter, seeds=list(seeds)
+    )
+    for label in first.labels:
+        for approach in first.approaches:
+            scores = [float(r.point(label, approach).score) for r in results]
+            times = [r.point(label, approach).elapsed for r in results]
+            mean = sum(scores) / len(scores)
+            variance = sum((s - mean) ** 2 for s in scores) / len(scores)
+            out.points.append(
+                AggregatePoint(
+                    label=label,
+                    approach=approach,
+                    mean_score=mean,
+                    std_score=math.sqrt(variance),
+                    mean_elapsed=sum(times) / len(times),
+                    runs=len(results),
+                )
+            )
+    return out
+
+
+def run_repeated_sweep(
+    runner: Callable[..., SweepResult],
+    seeds: Sequence[int],
+    **kwargs,
+) -> AggregateResult:
+    """Run a `repro.experiments.runner` function once per seed and average.
+
+    Args:
+        runner: e.g. ``run_fig7``.
+        seeds: the seeds to use (also become the replication count).
+        kwargs: forwarded to the runner (``scale``, ``approaches``, ...).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [runner(seed=seed, **kwargs) for seed in seeds]
+    return aggregate_sweeps(results, seeds)
+
+
+def format_aggregate(result: AggregateResult) -> str:
+    """Render mean ± std score tables."""
+    approaches = result.approaches
+    header = [result.parameter] + approaches
+    rows: List[List[str]] = []
+    for label in result.labels:
+        row = [label]
+        for name in approaches:
+            point = result.point(label, name)
+            row.append(f"{point.mean_score:.1f}±{point.std_score:.1f}")
+        rows.append(row)
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"{result.name} — mean score over seeds {result.seeds}"]
+    lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

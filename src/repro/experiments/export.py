@@ -1,0 +1,72 @@
+"""Machine-readable exports of sweep results (CSV / JSON)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.experiments.harness import SweepPoint, SweepResult
+
+PathLike = Union[str, Path]
+
+_FIELDS = ["experiment", "parameter", "label", "approach", "score", "elapsed_s"]
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Render a sweep as CSV text (one row per measured point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_FIELDS)
+    for point in result.points:
+        writer.writerow(
+            [result.name, result.parameter, point.label, point.approach,
+             point.score, f"{point.elapsed:.6f}"]
+        )
+    return buffer.getvalue()
+
+
+def save_sweep_csv(result: SweepResult, path: PathLike) -> None:
+    Path(path).write_text(sweep_to_csv(result), encoding="utf-8")
+
+
+def sweep_to_dict(result: SweepResult) -> Dict[str, Any]:
+    """Encode a sweep as a JSON-ready dictionary."""
+    return {
+        "name": result.name,
+        "parameter": result.parameter,
+        "points": [
+            {
+                "label": p.label,
+                "approach": p.approach,
+                "score": p.score,
+                "elapsed_s": p.elapsed,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def sweep_from_dict(data: Dict[str, Any]) -> SweepResult:
+    """Decode a sweep written by :func:`sweep_to_dict`."""
+    result = SweepResult(name=data["name"], parameter=data["parameter"])
+    result.points = [
+        SweepPoint(
+            label=entry["label"],
+            approach=entry["approach"],
+            score=int(entry["score"]),
+            elapsed=float(entry["elapsed_s"]),
+        )
+        for entry in data["points"]
+    ]
+    return result
+
+
+def save_sweep_json(result: SweepResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(sweep_to_dict(result), indent=2), encoding="utf-8")
+
+
+def load_sweep_json(path: PathLike) -> SweepResult:
+    return sweep_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

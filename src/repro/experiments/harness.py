@@ -1,0 +1,130 @@
+"""Sweep execution: run a set of approaches across a parameter series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import BatchAllocator
+from repro.algorithms.registry import make_allocator
+from repro.core.instance import ProblemInstance
+from repro.simulation.platform import Platform, run_single_batch
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, approach) measurement.
+
+    Attributes:
+        label: the swept value, e.g. ``"[0.02, 0.025]"``.
+        approach: allocator display name.
+        score: total valid assigned worker-and-task pairs.
+        elapsed: allocator running time in seconds.
+    """
+
+    label: str
+    approach: str
+    score: int
+    elapsed: float
+
+
+@dataclass
+class SweepResult:
+    """A full experiment: every approach at every swept value."""
+
+    name: str
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.label not in seen:
+                seen.append(point.label)
+        return seen
+
+    @property
+    def approaches(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.approach not in seen:
+                seen.append(point.approach)
+        return seen
+
+    def point(self, label: str, approach: str) -> SweepPoint:
+        for candidate in self.points:
+            if candidate.label == label and candidate.approach == approach:
+                return candidate
+        raise KeyError(f"no point for ({label!r}, {approach!r})")
+
+    def scores_of(self, approach: str) -> List[int]:
+        """Scores across the sweep, in label order — one figure line."""
+        return [self.point(label, approach).score for label in self.labels]
+
+    def times_of(self, approach: str) -> List[float]:
+        """Running times across the sweep, in label order."""
+        return [self.point(label, approach).elapsed for label in self.labels]
+
+
+def evaluate_approaches(
+    instance: ProblemInstance,
+    approaches: Sequence[str],
+    batch_interval: float = 5.0,
+    seed: int = 0,
+    single_batch: bool = False,
+    allocators: Optional[Dict[str, BatchAllocator]] = None,
+) -> Dict[str, Tuple[int, float]]:
+    """Run each named approach over the instance.
+
+    Args:
+        instance: the problem.
+        approaches: names accepted by
+            :func:`repro.algorithms.registry.make_allocator`, or keys of
+            ``allocators``.
+        batch_interval: the platform's batch period (ignored when
+            ``single_batch``).
+        seed: seed handed to stochastic allocators.
+        single_batch: run the offline single-batch setting (Table VI) instead
+            of the dynamic platform.
+        allocators: optional pre-built allocators overriding the registry.
+
+    Returns:
+        approach name -> ``(total score, total allocator seconds)``.
+    """
+    results: Dict[str, Tuple[int, float]] = {}
+    for name in approaches:
+        allocator = (allocators or {}).get(name) or make_allocator(name, seed=seed)
+        if single_batch:
+            outcome = run_single_batch(instance, allocator)
+            results[name] = (outcome.score, outcome.elapsed)
+        else:
+            report = Platform(instance, allocator, batch_interval=batch_interval).run()
+            results[name] = (report.total_score, report.total_elapsed)
+    return results
+
+
+def run_sweep(
+    name: str,
+    parameter: str,
+    values: Sequence,
+    make_instance: Callable[[object], ProblemInstance],
+    approaches: Sequence[str],
+    batch_interval: float = 5.0,
+    seed: int = 0,
+    single_batch: bool = False,
+) -> SweepResult:
+    """Evaluate ``approaches`` on ``make_instance(value)`` for each value."""
+    result = SweepResult(name=name, parameter=parameter)
+    for value in values:
+        instance = make_instance(value)
+        measured = evaluate_approaches(
+            instance,
+            approaches,
+            batch_interval=batch_interval,
+            seed=seed,
+            single_batch=single_batch,
+        )
+        for approach, (score, elapsed) in measured.items():
+            result.points.append(SweepPoint(str(value), approach, score, elapsed))
+    return result

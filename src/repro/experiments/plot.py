@@ -1,0 +1,83 @@
+"""Terminal line charts for sweep results (no plotting dependency).
+
+Renders a sweep's score series as a fixed-width ASCII chart — one marker per
+approach — so `dasc run figN --plot` gives an immediate visual of the
+paper's figure shape without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import SweepResult
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    result: SweepResult,
+    height: int = 12,
+    approaches: Optional[Sequence[str]] = None,
+    metric: str = "score",
+) -> str:
+    """Render selected series of a sweep as an ASCII chart.
+
+    Args:
+        result: the sweep to draw.
+        height: number of chart rows (y resolution).
+        approaches: subset of approaches (all by default, up to 8).
+        metric: ``score`` or ``time``.
+
+    Returns:
+        A multi-line string: chart, x labels and a legend.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    names = list(approaches or result.approaches)[: len(_MARKERS)]
+    if metric == "score":
+        series = {name: [float(v) for v in result.scores_of(name)] for name in names}
+        unit = "score"
+    elif metric == "time":
+        series = {name: [v * 1000.0 for v in result.times_of(name)] for name in names}
+        unit = "ms"
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    labels = result.labels
+    columns = len(labels)
+    if columns == 0:
+        return f"{result.name}: (empty sweep)"
+    low = min(min(vals) for vals in series.values())
+    high = max(max(vals) for vals in series.values())
+    span = high - low or 1.0
+
+    # grid[row][col] — row 0 is the top
+    grid: List[List[str]] = [[" "] * columns for _ in range(height)]
+    for marker, name in zip(_MARKERS, names):
+        for col, value in enumerate(series[name]):
+            row = height - 1 - int(round((value - low) / span * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", marker) else marker
+
+    axis_width = max(len(f"{high:g}"), len(f"{low:g}"))
+    lines = [f"{result.name} — {unit}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{high:g}".rjust(axis_width)
+        elif i == height - 1:
+            label = f"{low:g}".rjust(axis_width)
+        else:
+            label = " " * axis_width
+        lines.append(f"{label} |" + "  ".join(row))
+    lines.append(" " * axis_width + " +" + "-" * (3 * columns - 2))
+    lines.append(
+        " " * (axis_width + 2)
+        + "  ".join(str(i) for i in range(columns))
+    )
+    lines.append("x: " + "; ".join(f"{i}={label}" for i, label in enumerate(labels)))
+    lines.append(
+        "legend: "
+        + ", ".join(f"{marker}={name}" for marker, name in zip(_MARKERS, names))
+        + "  (*=overlap)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text rendering of sweep results (the paper's figure series)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.harness import SweepResult
+
+
+def _render_grid(title: str, header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_sweep(result: SweepResult, time_unit: str = "ms") -> str:
+    """Render a sweep as two aligned tables: scores then running times.
+
+    Mirrors the paper's paired (a)/(b) subfigures: rows are swept values,
+    columns are approaches.
+    """
+    factor = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    approaches = result.approaches
+    header = [result.parameter] + approaches
+
+    score_rows = [
+        [label] + [str(result.point(label, name).score) for name in approaches]
+        for label in result.labels
+    ]
+    time_rows = [
+        [label]
+        + [f"{result.point(label, name).elapsed * factor:.1f}" for name in approaches]
+        for label in result.labels
+    ]
+    score_table = _render_grid(f"{result.name} — assignment score", header, score_rows)
+    time_table = _render_grid(
+        f"{result.name} — running time ({time_unit})", header, time_rows
+    )
+    return f"{score_table}\n\n{time_table}\n"
+
+
+def format_series(title: str, labels: Sequence[str], values: Sequence[float]) -> str:
+    """Render a single named series (used by ablation reports)."""
+    header = ["value", title]
+    rows = [[str(label), f"{value:g}"] for label, value in zip(labels, values)]
+    return _render_grid(title, header, rows)

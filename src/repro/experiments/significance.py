@@ -1,0 +1,108 @@
+"""Statistical comparison of two approaches across seeds.
+
+Single-run score differences can be luck.  These helpers quantify whether
+"A beats B" survives replication: an exact paired sign test (no
+distributional assumptions — the right tool for a handful of seeds) and a
+bootstrap confidence interval on the mean paired difference.  Pure
+standard library, deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of comparing approach A against B over paired runs.
+
+    Attributes:
+        wins: runs where A scored strictly higher.
+        losses: runs where B scored strictly higher.
+        ties: equal-score runs (dropped by the sign test, as usual).
+        p_value: two-sided exact sign-test p-value (1.0 when all ties).
+        mean_difference: mean of A - B.
+        ci_low / ci_high: bootstrap 95 % CI of the mean difference.
+    """
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 call on the sign test."""
+        return self.p_value < 0.05
+
+
+def sign_test(wins: int, losses: int) -> float:
+    """Two-sided exact binomial sign test p-value for wins vs losses."""
+    if wins < 0 or losses < 0:
+        raise ValueError("wins/losses must be non-negative")
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / (2.0**n)
+    return min(1.0, 2.0 * tail)
+
+
+def bootstrap_mean_ci(
+    differences: Sequence[float],
+    resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI of the mean of ``differences``."""
+    if not differences:
+        raise ValueError("need at least one paired difference")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = random.Random(seed)
+    n = len(differences)
+    means: List[float] = []
+    for _ in range(resamples):
+        sample = [differences[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * resamples)]
+    hi = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return lo, hi
+
+
+def compare_paired_scores(
+    scores_a: Sequence[float], scores_b: Sequence[float], seed: int = 0
+) -> PairedComparison:
+    """Full paired comparison of two same-length score sequences.
+
+    Raises:
+        ValueError: on length mismatch or empty input.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ValueError(
+            f"paired sequences must match: {len(scores_a)} vs {len(scores_b)}"
+        )
+    if not scores_a:
+        raise ValueError("need at least one paired run")
+    differences = [a - b for a, b in zip(scores_a, scores_b)]
+    wins = sum(1 for d in differences if d > 0)
+    losses = sum(1 for d in differences if d < 0)
+    ties = len(differences) - wins - losses
+    ci_low, ci_high = bootstrap_mean_ci(differences, seed=seed)
+    return PairedComparison(
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        p_value=sign_test(wins, losses),
+        mean_difference=sum(differences) / len(differences),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

@@ -1,0 +1,19 @@
+"""JSON persistence for instances, assignments and experiment results."""
+
+from repro.io.serialize import (
+    assignment_from_dict,
+    assignment_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+
+__all__ = [
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "save_instance",
+]

@@ -1,0 +1,26 @@
+"""Matching substrate: Hungarian algorithm and Hopcroft-Karp.
+
+``DASC_Greedy`` (Algorithm 1, line 5) needs to decide whether an associative
+task set can be fully staffed by the currently-free workers, and if so by
+whom.  That is a bipartite matching problem:
+
+* :func:`~repro.matching.hungarian.hungarian` — minimum-cost assignment
+  (Kuhn-Munkres with potentials, O(n^2 m)); the paper's cited method.
+* :func:`~repro.matching.hopcroft_karp.hopcroft_karp` — maximum-cardinality
+  matching in O(E sqrt(V)); a faster alternative when costs are irrelevant
+  (used by the ablation benchmark).
+* :func:`~repro.matching.bipartite.match_task_set` — the task-set staffing
+  helper both allocators share.
+"""
+
+from repro.matching.bipartite import match_task_set, max_bipartite_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.hungarian import INFEASIBLE, hungarian
+
+__all__ = [
+    "INFEASIBLE",
+    "hopcroft_karp",
+    "hungarian",
+    "match_task_set",
+    "max_bipartite_matching",
+]

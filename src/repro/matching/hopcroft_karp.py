@@ -1,0 +1,87 @@
+"""Hopcroft-Karp maximum-cardinality bipartite matching, O(E * sqrt(V)).
+
+Left vertices are ``0..n_left-1``; adjacency maps each left vertex to its
+right-side neighbours (arbitrary hashable right ids are fine — they are
+remapped internally).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple, TypeVar
+
+R = TypeVar("R", bound=Hashable)
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adjacency: Mapping[int, Sequence[R]], n_left: int
+) -> Tuple[Dict[int, R], Dict[R, int]]:
+    """Compute a maximum matching.
+
+    Args:
+        adjacency: for each left vertex id in ``0..n_left-1``, the right
+            vertices it may match (missing keys mean no edges).
+        n_left: number of left vertices.
+
+    Returns:
+        ``(left_to_right, right_to_left)`` dictionaries describing one
+        maximum matching.
+    """
+    rights: List[R] = []
+    right_index: Dict[R, int] = {}
+    adj: List[List[int]] = [[] for _ in range(n_left)]
+    for left in range(n_left):
+        for right in adjacency.get(left, ()):  # type: ignore[call-overload]
+            idx = right_index.get(right)
+            if idx is None:
+                idx = len(rights)
+                right_index[right] = idx
+                rights.append(right)
+            adj[left].append(idx)
+
+    match_l: List[int] = [-1] * n_left
+    match_r: List[int] = [-1] * len(rights)
+    dist: List[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for left in range(n_left):
+            if match_l[left] == -1:
+                dist[left] = 0.0
+                queue.append(left)
+            else:
+                dist[left] = _INF
+        reachable_free = False
+        while queue:
+            left = queue.popleft()
+            for right in adj[left]:
+                nxt = match_r[right]
+                if nxt == -1:
+                    reachable_free = True
+                elif dist[nxt] == _INF:
+                    dist[nxt] = dist[left] + 1.0
+                    queue.append(nxt)
+        return reachable_free
+
+    def dfs(left: int) -> bool:
+        for right in adj[left]:
+            nxt = match_r[right]
+            if nxt == -1 or (dist[nxt] == dist[left] + 1.0 and dfs(nxt)):
+                match_l[left] = right
+                match_r[right] = left
+                return True
+        dist[left] = _INF
+        return False
+
+    while bfs():
+        for left in range(n_left):
+            if match_l[left] == -1:
+                dfs(left)
+
+    left_to_right = {
+        left: rights[match_l[left]] for left in range(n_left) if match_l[left] != -1
+    }
+    right_to_left = {rights[r]: left for r, left in enumerate(match_r) if left != -1}
+    return left_to_right, right_to_left

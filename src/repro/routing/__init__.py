@@ -1,0 +1,28 @@
+"""Task-route scheduling — the WST-mode related work (Deng et al. [11]).
+
+The paper's related work contrasts DA-SC against route-based assignment,
+where each worker receives an ordered *sequence* of tasks to serve before
+their deadlines.  This package implements that model as a comparison
+substrate:
+
+* :func:`~repro.routing.planner.plan_route` — maximise the number of tasks
+  one worker can serve in sequence (exact Held-Karp-style DP on small
+  candidate sets, nearest-feasible greedy beyond that);
+* :class:`~repro.routing.scheduler.RouteScheduler` — a batch scheduler
+  handing every worker a route (dependency-oblivious, like the original);
+* :func:`~repro.routing.scheduler.evaluate_routes` — temporal validity
+  accounting: a routed task only counts if its dependencies were *served
+  earlier in time*, which is what lets the benchmark compare routing
+  against the dependency-aware approaches on DA-SC workloads.
+"""
+
+from repro.routing.planner import Route, plan_route
+from repro.routing.scheduler import RouteOutcome, RouteScheduler, evaluate_routes
+
+__all__ = [
+    "Route",
+    "RouteOutcome",
+    "RouteScheduler",
+    "evaluate_routes",
+    "plan_route",
+]

@@ -1,0 +1,217 @@
+"""Single-worker route planning: serve as many tasks as possible in sequence.
+
+This is the core of Deng et al.'s "maximising the number of worker's
+self-selected tasks": given one worker and a candidate task set, find an
+ordered subset maximising the count of tasks whose service *starts* before
+their deadline, travelling between locations at the worker's velocity and
+within their total moving-distance budget.
+
+Exact for small candidate sets via bitmask DP over (visited set, last task)
+— O(2^k * k^2) — which dominates tie cases; larger sets fall back to a
+nearest-feasible-next greedy (the classic heuristic from that line of
+work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.distance import DistanceMetric, EuclideanDistance
+
+_EUCLIDEAN = EuclideanDistance()
+
+#: DP is exact up to this many candidates; beyond it the greedy kicks in.
+EXACT_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered service plan for one worker.
+
+    Attributes:
+        worker_id: the worker.
+        task_ids: tasks in service order.
+        service_times: start-of-service time per task (same order).
+        total_distance: distance travelled over the whole route.
+        completion: time the last task finishes.
+    """
+
+    worker_id: int
+    task_ids: Tuple[int, ...]
+    service_times: Tuple[float, ...]
+    total_distance: float
+    completion: float
+
+    def __len__(self) -> int:
+        return len(self.task_ids)
+
+
+def _leg(worker: Worker, a, b, metric: DistanceMetric) -> Tuple[float, float]:
+    """(distance, travel time) between two points for this worker."""
+    dist = metric(a, b)
+    if dist == 0.0:
+        return 0.0, 0.0
+    if worker.velocity <= 0.0:
+        return dist, math.inf
+    return dist, dist / worker.velocity
+
+
+def plan_route(
+    worker: Worker,
+    tasks: Sequence[Task],
+    metric: Optional[DistanceMetric] = None,
+    now: float = -math.inf,
+) -> Route:
+    """Plan a maximum-count route for one worker.
+
+    Args:
+        worker: the worker (must be on the platform).
+        tasks: candidate tasks (skill filtering is the caller's job; this
+            function re-checks skills defensively).
+        metric: distance function.
+        now: current time; departures cannot precede it.
+
+    Returns:
+        The best route found (possibly empty).  Among maximum-count routes
+        the DP prefers earlier completion.
+    """
+    metric = metric or _EUCLIDEAN
+    start_clock = max(worker.start, now)
+    candidates = [
+        t
+        for t in tasks
+        if t.skill in worker.skills
+        and t.start <= worker.deadline
+        and t.deadline >= start_clock
+    ]
+    if not candidates:
+        return Route(worker.id, (), (), 0.0, start_clock)
+    if len(candidates) <= EXACT_LIMIT:
+        return _plan_exact(worker, candidates, metric, start_clock)
+    return _plan_greedy(worker, candidates, metric, start_clock)
+
+
+def _plan_exact(
+    worker: Worker, tasks: List[Task], metric: DistanceMetric, start_clock: float
+) -> Route:
+    k = len(tasks)
+    # state: (mask, last) -> (clock after serving last, distance used)
+    # keep the lexicographically best (min clock, then min distance).
+    states: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+    for i, task in enumerate(tasks):
+        dist, travel = _leg(worker, worker.location, task.location, metric)
+        arrive = max(start_clock + travel, task.start)
+        if dist > worker.max_distance or arrive > task.deadline:
+            continue
+        states[(1 << i, i)] = (arrive + task.duration, dist)
+        parent[(1 << i, i)] = None
+
+    best_key: Optional[Tuple[int, int]] = None
+
+    def better(a_key, b_key) -> bool:
+        """Is route-state a preferable to b as a final answer?"""
+        if b_key is None:
+            return True
+        a_count = bin(a_key[0]).count("1")
+        b_count = bin(b_key[0]).count("1")
+        if a_count != b_count:
+            return a_count > b_count
+        return states[a_key] < states[b_key]
+
+    frontier = list(states)
+    while frontier:
+        next_frontier: List[Tuple[int, int]] = []
+        for key in frontier:
+            if better(key, best_key):
+                best_key = key
+            mask, last = key
+            clock, used = states[key]
+            for j, task in enumerate(tasks):
+                if mask & (1 << j):
+                    continue
+                dist, travel = _leg(
+                    worker, tasks[last].location, task.location, metric
+                )
+                if used + dist > worker.max_distance:
+                    continue
+                arrive = max(clock + travel, task.start)
+                if arrive > task.deadline:
+                    continue
+                new_key = (mask | (1 << j), j)
+                new_state = (arrive + task.duration, used + dist)
+                if new_key not in states or new_state < states[new_key]:
+                    states[new_key] = new_state
+                    parent[new_key] = key
+                    next_frontier.append(new_key)
+        frontier = next_frontier
+
+    if best_key is None:
+        return Route(worker.id, (), (), 0.0, start_clock)
+
+    # reconstruct
+    order: List[int] = []
+    key: Optional[Tuple[int, int]] = best_key
+    while key is not None:
+        order.append(key[1])
+        key = parent[key]
+    order.reverse()
+    return _materialise(worker, [tasks[i] for i in order], metric, start_clock)
+
+
+def _plan_greedy(
+    worker: Worker, tasks: List[Task], metric: DistanceMetric, start_clock: float
+) -> Route:
+    remaining = list(tasks)
+    chosen: List[Task] = []
+    location = worker.location
+    clock = start_clock
+    used = 0.0
+    while remaining:
+        best: Optional[Tuple[float, float, Task]] = None
+        for task in remaining:
+            dist, travel = _leg(worker, location, task.location, metric)
+            if used + dist > worker.max_distance:
+                continue
+            arrive = max(clock + travel, task.start)
+            if arrive > task.deadline:
+                continue
+            key = (arrive, dist)
+            if best is None or key < (best[0], best[1]):
+                best = (arrive, dist, task)
+        if best is None:
+            break
+        arrive, dist, task = best
+        chosen.append(task)
+        remaining.remove(task)
+        location = task.location
+        clock = arrive + task.duration
+        used += dist
+    return _materialise(worker, chosen, metric, start_clock)
+
+
+def _materialise(
+    worker: Worker, ordered: List[Task], metric: DistanceMetric, start_clock: float
+) -> Route:
+    clock = start_clock
+    location = worker.location
+    used = 0.0
+    service_times: List[float] = []
+    for task in ordered:
+        dist, travel = _leg(worker, location, task.location, metric)
+        clock = max(clock + travel, task.start)
+        service_times.append(clock)
+        clock += task.duration
+        used += dist
+        location = task.location
+    return Route(
+        worker_id=worker.id,
+        task_ids=tuple(t.id for t in ordered),
+        service_times=tuple(service_times),
+        total_distance=used,
+        completion=clock,
+    )

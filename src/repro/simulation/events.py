@@ -1,0 +1,84 @@
+"""Structured event traces of platform runs.
+
+An :class:`EventLog` attached to a :class:`~repro.simulation.platform.Platform`
+records what happened and when — assignments, physical completions, task
+expirations — in a form downstream tooling can consume (replay, debugging,
+latency analysis).  Events are totally ordered by ``(time, sequence)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    ASSIGN = "assign"      #: a worker was matched to a task (batch time)
+    COMPLETE = "complete"  #: the worker physically finished the task
+    EXPIRE = "expire"      #: the task's deadline passed unassigned
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record.
+
+    Attributes:
+        time: simulation time of the event.
+        kind: what happened.
+        task_id: the task involved.
+        worker_id: the worker involved (None for expirations).
+        batch_index: the batch during which the event was recorded.
+    """
+
+    time: float
+    kind: EventKind
+    task_id: int
+    worker_id: Optional[int] = None
+    batch_index: Optional[int] = None
+
+
+class EventLog:
+    """An append-only, time-ordered trace of platform events."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, event: Event) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(sorted(self._events, key=lambda e: (e.time, e.kind.value)))
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one kind, time-ordered."""
+        return [e for e in self if e.kind is kind]
+
+    def for_task(self, task_id: int) -> List[Event]:
+        """The lifecycle of one task, time-ordered."""
+        return [e for e in self if e.task_id == task_id]
+
+    def assignment_latencies(self, task_starts: Dict[int, float]) -> Dict[int, float]:
+        """Per-task waiting time from appearance to assignment.
+
+        Args:
+            task_starts: task id -> appearance timestamp ``s_t``.
+        """
+        return {
+            e.task_id: e.time - task_starts[e.task_id]
+            for e in self.of_kind(EventKind.ASSIGN)
+            if e.task_id in task_starts
+        }
+
+    def summary(self) -> str:
+        counts = {kind: len(self.of_kind(kind)) for kind in EventKind}
+        return (
+            f"{len(self)} events: {counts[EventKind.ASSIGN]} assigned, "
+            f"{counts[EventKind.COMPLETE]} completed, "
+            f"{counts[EventKind.EXPIRE]} expired"
+        )

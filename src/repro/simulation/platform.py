@@ -1,0 +1,235 @@
+"""The batch-based DA-SC platform (Section II-D).
+
+Every ``batch_interval`` time units the platform snapshots the free workers
+and open tasks, calls the configured allocator and executes the returned
+assignment: each matched worker departs for its task at
+``max(s_w, s_t, now)``, arrives after ``dist / v_w`` and completes after the
+task's service duration.  Completed workers re-enter the pool at the task
+location (policy-dependent, see :class:`RejoinPolicy`) with their moving
+budget reduced by the distance travelled; tasks assigned in any earlier
+batch satisfy the dependency constraint of later ones.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.algorithms.base import AllocationOutcome, BatchAllocator
+from repro.core.assignment import Assignment
+from repro.core.instance import ProblemInstance
+from repro.core.worker import Worker
+from repro.simulation.events import Event, EventKind, EventLog
+from repro.simulation.stats import BatchRecord, SimulationReport
+
+
+class RejoinPolicy(enum.Enum):
+    """What happens to a worker after it finishes a task.
+
+    * ``REMAINING``: the worker keeps its original departure deadline
+      ``s_w + w_w`` — the literal Definition 1 semantics (a worker whose
+      waiting window lapsed while serving does not return).
+    * ``FRESH``: the worker re-enters with a fresh waiting window equal to
+      its original ``w_w`` (a busier, friendlier marketplace).
+    * ``NEVER``: one task per worker per run.
+    """
+
+    REMAINING = "remaining"
+    FRESH = "fresh"
+    NEVER = "never"
+
+
+@dataclass
+class _BusyWorker:
+    worker: Worker
+    free_at: float
+    location: tuple
+    travelled: float
+
+
+class Platform:
+    """Runs an allocator over an instance batch-by-batch.
+
+    Args:
+        instance: the problem to simulate.
+        allocator: any batch allocator.
+        batch_interval: the constant interval between batch processes.
+        rejoin: worker rejoin policy after completing a task.
+        event_log: optional trace recorder receiving ASSIGN / COMPLETE /
+            EXPIRE events.
+
+    The simulation is deterministic given a deterministic allocator.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        allocator: BatchAllocator,
+        batch_interval: float = 5.0,
+        rejoin: RejoinPolicy = RejoinPolicy.REMAINING,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        if batch_interval <= 0.0:
+            raise ValueError(f"batch interval must be positive, got {batch_interval}")
+        self.instance = instance
+        self.allocator = allocator
+        self.batch_interval = batch_interval
+        self.rejoin = rejoin
+        self.event_log = event_log
+
+    def run(self) -> SimulationReport:
+        """Simulate the whole horizon and return the aggregate report."""
+        instance = self.instance
+        report = SimulationReport(allocator=self.allocator.name)
+        if not instance.workers or not instance.tasks:
+            report.expired_tasks = sorted(t.id for t in instance.tasks)
+            return report
+
+        # Pool state.  ``pool`` holds the *current* Worker records (a rejoined
+        # worker is a relocated copy); ``busy`` tracks in-flight service.
+        pool: Dict[int, Worker] = {w.id: w for w in instance.workers}
+        busy: Dict[int, _BusyWorker] = {}
+        assigned_tasks: Set[int] = set()
+        open_task_ids = {t.id for t in instance.tasks}
+
+        # Batches fire at start, start + interval, ... and once more exactly
+        # at the horizon, so nothing alive can slip between the last regular
+        # batch and the end of the simulation.
+        start = instance.earliest_start
+        horizon = instance.horizon
+        batches = max(1, math.ceil((horizon - start) / self.batch_interval))
+        for index in range(batches + 1):
+            now = min(start + index * self.batch_interval, horizon)
+            self._release_finished(pool, busy, now)
+            workers = [w for w in pool.values() if w.active_at(now)]
+            tasks = [
+                instance.task(tid)
+                for tid in open_task_ids
+                if instance.task(tid).active_at(now)
+            ]
+            if workers and tasks:
+                outcome = self.allocator.allocate(
+                    workers, tasks, instance, now, frozenset(assigned_tasks)
+                )
+                self._execute(
+                    outcome, pool, busy, assigned_tasks, open_task_ids, now, report,
+                    batch_index=index,
+                )
+                record = BatchRecord(
+                    index=index,
+                    time=now,
+                    available_workers=len(workers),
+                    open_tasks=len(tasks),
+                    score=outcome.score,
+                    elapsed=outcome.elapsed,
+                )
+            else:
+                record = BatchRecord(index, now, len(workers), len(tasks), 0, 0.0)
+            report.batches.append(record)
+            # Expire tasks whose deadline has now passed.
+            still_open = {
+                tid for tid in open_task_ids if instance.task(tid).deadline > now
+            }
+            if self.event_log is not None:
+                for tid in open_task_ids - still_open:
+                    self.event_log.record(
+                        Event(
+                            time=instance.task(tid).deadline,
+                            kind=EventKind.EXPIRE,
+                            task_id=tid,
+                            batch_index=index,
+                        )
+                    )
+            open_task_ids = still_open
+            if now >= horizon:
+                break
+        if self.event_log is not None:
+            for tid in sorted(open_task_ids):
+                self.event_log.record(
+                    Event(
+                        time=instance.task(tid).deadline,
+                        kind=EventKind.EXPIRE,
+                        task_id=tid,
+                    )
+                )
+        report.expired_tasks = sorted(
+            tid for tid in instance.task_ids if tid not in assigned_tasks
+        )
+        return report
+
+    # -- internals --------------------------------------------------------------------
+
+    def _release_finished(
+        self, pool: Dict[int, Worker], busy: Dict[int, _BusyWorker], now: float
+    ) -> None:
+        done = [wid for wid, record in busy.items() if record.free_at <= now]
+        for wid in done:
+            record = busy.pop(wid)
+            if self.rejoin is RejoinPolicy.NEVER:
+                continue
+            worker = record.worker
+            rejoined = worker.relocated(
+                record.location, record.free_at, travelled=record.travelled
+            )
+            if self.rejoin is RejoinPolicy.FRESH:
+                rejoined = Worker(
+                    id=rejoined.id,
+                    location=rejoined.location,
+                    start=rejoined.start,
+                    wait=worker.wait,
+                    velocity=rejoined.velocity,
+                    max_distance=rejoined.max_distance,
+                    skills=rejoined.skills,
+                )
+            if rejoined.wait > 0.0 or self.rejoin is RejoinPolicy.FRESH:
+                pool[wid] = rejoined
+
+    def _execute(
+        self,
+        outcome: AllocationOutcome,
+        pool: Dict[int, Worker],
+        busy: Dict[int, _BusyWorker],
+        assigned_tasks: Set[int],
+        open_task_ids: Set[int],
+        now: float,
+        report: SimulationReport,
+        batch_index: Optional[int] = None,
+    ) -> None:
+        instance = self.instance
+        for worker_id, task_id in outcome.assignment.pairs():
+            worker = pool.pop(worker_id)
+            task = instance.task(task_id)
+            depart = max(worker.start, task.start, now)
+            dist = instance.metric(worker.location, task.location)
+            travel = 0.0 if dist == 0.0 else dist / worker.velocity
+            finish = depart + travel + task.duration
+            busy[worker_id] = _BusyWorker(
+                worker=worker, free_at=finish, location=task.location, travelled=dist
+            )
+            assigned_tasks.add(task_id)
+            open_task_ids.discard(task_id)
+            report.assignments[task_id] = worker_id
+            report.completion_times[task_id] = finish
+            if self.event_log is not None:
+                self.event_log.record(
+                    Event(now, EventKind.ASSIGN, task_id, worker_id, batch_index)
+                )
+                self.event_log.record(
+                    Event(finish, EventKind.COMPLETE, task_id, worker_id, batch_index)
+                )
+
+
+def run_single_batch(
+    instance: ProblemInstance, allocator: BatchAllocator, now: Optional[float] = None
+) -> AllocationOutcome:
+    """Run one batch over the *entire* instance (the offline special case).
+
+    This is the setting of the NP-hardness proof and the small-scale
+    experiment (Table VI): every worker and task is on the platform at once.
+    """
+    when = instance.earliest_start if now is None else now
+    return allocator.allocate(
+        instance.workers, instance.tasks, instance, when, frozenset()
+    )

@@ -1,0 +1,68 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """What happened in one batch.
+
+    Attributes:
+        index: batch number.
+        time: batch timestamp.
+        available_workers: free workers offered to the allocator.
+        open_tasks: unassigned, unexpired tasks offered to the allocator.
+        score: valid pairs matched in this batch.
+        elapsed: allocator wall-clock seconds.
+    """
+
+    index: int
+    time: float
+    available_workers: int
+    open_tasks: int
+    score: int
+    elapsed: float
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of a full platform run.
+
+    Attributes:
+        allocator: display name of the allocator used.
+        batches: per-batch records in order.
+        assignments: task id -> worker id over the whole run.
+        completion_times: task id -> physical completion time (travel +
+            service), for assigned tasks.
+        expired_tasks: ids of tasks that left the platform unassigned.
+    """
+
+    allocator: str
+    batches: List[BatchRecord] = field(default_factory=list)
+    assignments: Dict[int, int] = field(default_factory=dict)
+    completion_times: Dict[int, float] = field(default_factory=dict)
+    expired_tasks: List[int] = field(default_factory=list)
+
+    @property
+    def total_score(self) -> int:
+        """Total valid worker-and-task pairs (the paper's assignment score)."""
+        return sum(record.score for record in self.batches)
+
+    @property
+    def total_elapsed(self) -> float:
+        """Total allocator time across batches (the paper's running time)."""
+        return sum(record.elapsed for record in self.batches)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    def summary(self) -> str:
+        return (
+            f"{self.allocator}: score={self.total_score} over {self.num_batches} "
+            f"batches in {self.total_elapsed * 1000.0:.1f} ms "
+            f"({len(self.expired_tasks)} tasks expired)"
+        )

@@ -1,0 +1,182 @@
+"""A uniform-grid spatial index over 2-D points.
+
+The batch allocators need, for every worker, the set of tasks within a
+reachability radius (``min(d_w, v_w * remaining_time)``).  A brute-force scan
+is O(n*m); bucketing points into a uniform grid reduces the candidate set to
+the cells overlapping the query disc, which is near-linear for the point
+densities the experiments use.
+
+The index is intentionally simple (no rebalancing, no deletion compaction):
+batches are rebuilt from scratch each allocation round, so build speed and
+query speed are what matter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Tuple, TypeVar
+
+from repro.spatial.distance import Point, euclidean
+
+K = TypeVar("K", bound=Hashable)
+
+Cell = Tuple[int, int]
+
+
+class GridIndex(Generic[K]):
+    """Maps hashable keys to points and answers radius queries.
+
+    Args:
+        cell_size: side length of a grid cell.  A good default is the median
+            query radius; anything within ~4x of that is fine.
+
+    The index uses Euclidean geometry for its candidate pruning.  Radius
+    queries with other metrics remain *correct* as long as the metric is
+    lower-bounded by a constant multiple of the Euclidean distance on the data
+    region — callers doing that should query with an inflated radius and
+    re-check exactly (this is what the feasibility builder does).
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._cell_size = cell_size
+        self._cells: Dict[Cell, List[K]] = {}
+        self._points: Dict[K, Point] = {}
+
+    @property
+    def cell_size(self) -> float:
+        return self._cell_size
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._points
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._points)
+
+    def _cell_of(self, point: Point) -> Cell:
+        return (
+            math.floor(point[0] / self._cell_size),
+            math.floor(point[1] / self._cell_size),
+        )
+
+    def insert(self, key: K, point: Point) -> None:
+        """Insert (or move) ``key`` at ``point``."""
+        if key in self._points:
+            self.remove(key)
+        self._points[key] = point
+        self._cells.setdefault(self._cell_of(point), []).append(key)
+
+    def insert_many(self, items: Iterable[Tuple[K, Point]]) -> None:
+        for key, point in items:
+            self.insert(key, point)
+
+    def remove(self, key: K) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        point = self._points.pop(key)
+        cell = self._cell_of(point)
+        bucket = self._cells[cell]
+        bucket.remove(key)
+        if not bucket:
+            del self._cells[cell]
+
+    def point_of(self, key: K) -> Point:
+        return self._points[key]
+
+    def query_radius(self, center: Point, radius: float) -> List[K]:
+        """All keys whose point is within Euclidean ``radius`` of ``center``."""
+        if radius < 0.0:
+            return []
+        cx, cy = center
+        lo_i = math.floor((cx - radius) / self._cell_size)
+        hi_i = math.floor((cx + radius) / self._cell_size)
+        lo_j = math.floor((cy - radius) / self._cell_size)
+        hi_j = math.floor((cy + radius) / self._cell_size)
+        out: List[K] = []
+        # When the query rectangle spans more cells than actually exist
+        # (tiny cell size vs a huge radius), walking the occupied cells is
+        # both equivalent and bounded.
+        span_cells = (hi_i - lo_i + 1) * (hi_j - lo_j + 1)
+        if span_cells > len(self._cells):
+            for (i, j), bucket in self._cells.items():
+                if lo_i <= i <= hi_i and lo_j <= j <= hi_j:
+                    for key in bucket:
+                        if euclidean(self._points[key], center) <= radius:
+                            out.append(key)
+            return out
+        for i in range(lo_i, hi_i + 1):
+            for j in range(lo_j, hi_j + 1):
+                bucket = self._cells.get((i, j))
+                if not bucket:
+                    continue
+                for key in bucket:
+                    if euclidean(self._points[key], center) <= radius:
+                        out.append(key)
+        return out
+
+    def nearest(self, center: Point, max_radius: float | None = None) -> K | None:
+        """The key nearest to ``center`` (ties broken arbitrarily).
+
+        Searches outward ring by ring; ``max_radius`` bounds the search.
+        Returns None when the index is empty or nothing lies within range.
+        """
+        if not self._points:
+            return None
+        best_key: K | None = None
+        best_dist = math.inf
+        ring = 0
+        ccell = self._cell_of(center)
+        max_occupied = self._max_occupied_ring(ccell)
+        max_ring = (
+            math.inf if max_radius is None else math.ceil(max_radius / self._cell_size) + 1
+        )
+        while ring <= max_ring:
+            # Ring enumeration costs O(ring); once rings outgrow the whole
+            # population a direct scan is cheaper (and bounded).
+            if 8 * ring > len(self._points):
+                for key, point in self._points.items():
+                    d = euclidean(point, center)
+                    if d < best_dist:
+                        best_key, best_dist = key, d
+                break
+            for i, j in self._ring_cells(ccell, ring):
+                bucket = self._cells.get((i, j))
+                if not bucket:
+                    continue
+                for key in bucket:
+                    d = euclidean(self._points[key], center)
+                    if d < best_dist:
+                        best_key, best_dist = key, d
+            # once we have a candidate, one extra ring suffices: any point in
+            # farther rings is at least (ring-1)*cell_size away.
+            if best_key is not None and (ring - 1) * self._cell_size > best_dist:
+                break
+            if best_key is None and ring > max_occupied:
+                break
+            ring += 1
+        if max_radius is not None and best_dist > max_radius:
+            return None
+        return best_key
+
+    def _max_occupied_ring(self, center_cell: Cell) -> int:
+        ci, cj = center_cell
+        worst = 0
+        for i, j in self._cells:
+            worst = max(worst, abs(i - ci), abs(j - cj))
+        return worst
+
+    @staticmethod
+    def _ring_cells(center: Cell, ring: int) -> Iterator[Cell]:
+        ci, cj = center
+        if ring == 0:
+            yield (ci, cj)
+            return
+        for i in range(ci - ring, ci + ring + 1):
+            yield (i, cj - ring)
+            yield (i, cj + ring)
+        for j in range(cj - ring + 1, cj + ring):
+            yield (ci - ring, j)
+            yield (ci + ring, j)

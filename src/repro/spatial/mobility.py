@@ -1,0 +1,39 @@
+"""Travel-time model.
+
+Workers move in a straight line at their constant velocity ``v_w``
+(Definition 1), so the travel cost ``ct_w(x, y)`` of Table III is simply
+``dist(x, y) / v_w``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.spatial.distance import DistanceMetric, EuclideanDistance, Point
+
+_DEFAULT_METRIC = EuclideanDistance()
+
+
+def travel_time(
+    origin: Point,
+    destination: Point,
+    velocity: float,
+    metric: DistanceMetric | None = None,
+) -> float:
+    """Time for a worker at ``origin`` to reach ``destination``.
+
+    Args:
+        velocity: the worker's speed; must be positive unless the distance is
+            zero (a zero-speed worker can only serve co-located tasks).
+        metric: distance function; Euclidean when omitted.
+
+    Returns:
+        ``dist / velocity``; ``math.inf`` when the worker cannot move but the
+        task is elsewhere.
+    """
+    dist = (metric or _DEFAULT_METRIC)(origin, destination)
+    if dist == 0.0:
+        return 0.0
+    if velocity <= 0.0:
+        return math.inf
+    return dist / velocity

@@ -1,0 +1,67 @@
+"""Axis-aligned bounding boxes used by generators and the grid index."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    The synthetic generator of the paper uses ``[0, 0.5]^2``; the Meetup-like
+    generator uses the Hong Kong lon/lat box quoted in Section V-A.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        return (self.width**2 + self.height**2) ** 0.5
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def sample(self, rng: random.Random) -> Point:
+        """Draw a uniform point from the box."""
+        return (rng.uniform(self.min_x, self.max_x), rng.uniform(self.min_y, self.max_y))
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box."""
+        x, y = point
+        return (
+            min(max(x, self.min_x), self.max_x),
+            min(max(y, self.min_y), self.max_y),
+        )
+
+
+#: The synthetic data space of Table V.
+UNIT_HALF_BOX = BoundingBox(0.0, 0.0, 0.5, 0.5)
+
+#: The Hong Kong extract used for the real dataset (Section V-A), as
+#: (lon, lat): longitude 113.843..114.283, latitude 22.209..22.609.
+HONG_KONG_BOX = BoundingBox(113.843, 22.209, 114.283, 22.609)

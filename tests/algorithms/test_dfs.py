@@ -1,0 +1,64 @@
+"""Exact DFS solver tests."""
+
+import pytest
+
+from repro.algorithms.dfs import DFSExact
+from repro.algorithms.greedy import DASCGreedy
+from repro.core.exceptions import AllocationError
+from repro.simulation.platform import run_single_batch
+
+
+class TestExample1:
+    def test_finds_the_optimum(self, example1):
+        outcome = run_single_batch(example1, DFSExact())
+        assert outcome.score == 3
+        assert outcome.assignment.is_valid(example1, now=example1.earliest_start)
+
+    def test_counts_nodes(self, example1):
+        outcome = run_single_batch(example1, DFSExact())
+        assert outcome.stats["nodes"] >= 1
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dominates_greedy(self, seed):
+        from repro.datagen.distributions import IntRange
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=6, num_tasks=10, skill_universe=4,
+                worker_skills=IntRange(1, 2), dependency_size=IntRange(0, 3),
+                seed=seed,
+            )
+        )
+        optimal = run_single_batch(instance, DFSExact()).score
+        greedy = run_single_batch(instance, DASCGreedy()).score
+        assert optimal >= greedy
+        # Theorem III.2 bound (1 - 1/e), checked loosely via ceil.
+        assert greedy >= (1.0 - 1.0 / 2.718281828) * optimal - 1e-9
+
+    def test_optimal_assignment_valid(self):
+        from repro.datagen.distributions import IntRange
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=5, num_tasks=8, skill_universe=3,
+                worker_skills=IntRange(1, 2), dependency_size=IntRange(0, 2),
+                seed=13,
+            )
+        )
+        outcome = run_single_batch(instance, DFSExact())
+        assert outcome.assignment.is_valid(instance, now=instance.earliest_start)
+
+
+class TestGuards:
+    def test_node_budget_enforced(self, small_synthetic):
+        with pytest.raises(AllocationError, match="max_nodes"):
+            run_single_batch(small_synthetic, DFSExact(max_nodes=5))
+
+    def test_empty_inputs(self, example1):
+        dfs = DFSExact()
+        assert dfs.allocate([], example1.tasks, example1, 0.0, frozenset()).score == 0
+        assert dfs.allocate(example1.workers, [], example1, 0.0, frozenset()).score == 0

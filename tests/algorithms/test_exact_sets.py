@@ -1,0 +1,39 @@
+"""ClosedSubsetExact unit tests (cross-validation lives in properties/)."""
+
+import pytest
+
+from repro.algorithms.exact_sets import ClosedSubsetExact
+from repro.simulation.platform import run_single_batch
+
+
+class TestClosedSubsetExact:
+    def test_example1_optimum_and_validity(self, example1):
+        outcome = run_single_batch(example1, ClosedSubsetExact())
+        assert outcome.score == 3
+        assert outcome.assignment.is_valid(example1, now=example1.earliest_start)
+
+    def test_empty_inputs(self, example1):
+        solver = ClosedSubsetExact()
+        assert solver.allocate([], example1.tasks, example1, 0.0, frozenset()).score == 0
+        assert solver.allocate(example1.workers, [], example1, 0.0, frozenset()).score == 0
+
+    def test_previously_assigned_unlocks_chains(self, example1):
+        tasks = [example1.task(i) for i in (2, 3, 5)]
+        outcome = ClosedSubsetExact().allocate(
+            example1.workers, tasks, example1, 0.0, frozenset({1, 4})
+        )
+        # w1 and w3 can cover t2 plus one of t3/t5 (both need psi-3 = only w3)
+        assert outcome.score == 2
+
+    def test_capacity_bounds_subset_size(self, example1):
+        # only one worker available: at most one task, and it must be a root
+        outcome = ClosedSubsetExact().allocate(
+            [example1.worker(1)], example1.tasks, example1, 0.0, frozenset()
+        )
+        assert outcome.score == 1
+        (pair,) = outcome.assignment.pairs()
+        assert pair[1] in (1, 4) or example1.task(pair[1]).is_root
+
+    def test_subset_counter_reported(self, example1):
+        outcome = run_single_batch(example1, ClosedSubsetExact())
+        assert outcome.stats["subsets"] >= 1.0

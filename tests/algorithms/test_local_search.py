@@ -1,0 +1,87 @@
+"""Local-search improver tests."""
+
+import pytest
+
+from repro.algorithms.baselines import RandomBaseline
+from repro.algorithms.dfs import DFSExact
+from repro.algorithms.game import DASCGame
+from repro.algorithms.greedy import DASCGreedy
+from repro.algorithms.local_search import LocalSearchImprover, improve_assignment
+from repro.core.assignment import Assignment
+from repro.core.constraints import FeasibilityChecker
+from repro.simulation.platform import run_single_batch
+
+
+class TestImproveAssignment:
+    def test_fill_assigns_ready_tasks(self, example1):
+        checker = FeasibilityChecker(example1.workers, example1.tasks)
+        assignment = Assignment()
+        improved = improve_assignment(assignment, checker, example1)
+        # idle workers should pick up ready work; the optimum here is 3
+        assert improved.score >= 2
+        assert improved.is_valid(example1, now=example1.earliest_start)
+
+    def test_relocate_frees_a_versatile_worker(self, example1):
+        # Start from a deliberately wasteful choice: w3 (the only psi-3
+        # holder) sits on t1, which w1 could also do.
+        checker = FeasibilityChecker(example1.workers, example1.tasks)
+        assignment = Assignment([(3, 1)])
+        improved = improve_assignment(assignment, checker, example1)
+        assert improved.score == 3
+        assert improved.is_valid(example1, now=example1.earliest_start)
+
+    def test_never_decreases_score(self, small_synthetic):
+        checker = FeasibilityChecker(
+            small_synthetic.workers, small_synthetic.tasks,
+            now=small_synthetic.earliest_start,
+        )
+        base = run_single_batch(small_synthetic, DASCGreedy()).assignment
+        before = base.score
+        improved = improve_assignment(
+            base.copy(), checker, small_synthetic
+        )
+        assert improved.score >= before
+
+    def test_respects_max_passes(self, example1):
+        checker = FeasibilityChecker(example1.workers, example1.tasks)
+        improved = improve_assignment(Assignment(), checker, example1, max_passes=1)
+        assert improved.is_valid(example1, now=example1.earliest_start)
+
+
+class TestLocalSearchImprover:
+    def test_name_composes(self):
+        improver = LocalSearchImprover(DASCGreedy())
+        assert improver.name == "Greedy+LS"
+
+    def test_rejects_bad_passes(self):
+        with pytest.raises(ValueError, match="max_passes"):
+            LocalSearchImprover(DASCGreedy(), max_passes=0)
+
+    def test_empty_inputs_pass_through(self, example1):
+        improver = LocalSearchImprover(DASCGreedy())
+        assert improver.allocate([], example1.tasks, example1, 0.0, frozenset()).score == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_improves_random_baseline_toward_optimum(self, seed, small_synthetic):
+        plain = run_single_batch(small_synthetic, RandomBaseline(seed=seed)).score
+        polished = run_single_batch(
+            small_synthetic, LocalSearchImprover(RandomBaseline(seed=seed))
+        )
+        optimum = run_single_batch(small_synthetic, DFSExact()).score
+        assert plain <= polished.score <= optimum
+        assert polished.assignment.is_valid(
+            small_synthetic, now=small_synthetic.earliest_start
+        )
+
+    def test_gain_reported_in_stats(self, small_synthetic):
+        polished = run_single_batch(
+            small_synthetic, LocalSearchImprover(RandomBaseline(seed=1))
+        )
+        assert polished.stats["ls_gain"] >= 0.0
+
+    def test_never_hurts_game(self, small_synthetic):
+        base = run_single_batch(small_synthetic, DASCGame(seed=2)).score
+        polished = run_single_batch(
+            small_synthetic, LocalSearchImprover(DASCGame(seed=2))
+        ).score
+        assert polished >= base

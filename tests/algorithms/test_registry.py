@@ -1,0 +1,58 @@
+"""Allocator registry tests."""
+
+import pytest
+
+from repro.algorithms.baselines import ClosestBaseline, RandomBaseline
+from repro.algorithms.dfs import DFSExact
+from repro.algorithms.game import DASCGame
+from repro.algorithms.greedy import DASCGreedy
+from repro.algorithms.registry import APPROACH_NAMES, make_allocator
+
+
+class TestRegistry:
+    def test_approach_names_match_paper(self):
+        assert APPROACH_NAMES == ["Greedy", "Game", "Game-5%", "G-G", "Closest", "Random"]
+
+    def test_greedy(self):
+        assert isinstance(make_allocator("Greedy"), DASCGreedy)
+
+    def test_game_strict(self):
+        game = make_allocator("Game")
+        assert isinstance(game, DASCGame)
+        assert game.threshold == 0.0
+        assert game.init == "random"
+
+    def test_game_5_percent(self):
+        game = make_allocator("Game-5%")
+        assert game.threshold == 0.05
+        assert game.name == "Game-5%"
+
+    def test_gg_uses_greedy_init(self):
+        game = make_allocator("G-G")
+        assert game.init == "greedy"
+        assert game.name == "G-G"
+
+    def test_baselines(self):
+        assert isinstance(make_allocator("Closest"), ClosestBaseline)
+        assert isinstance(make_allocator("Random"), RandomBaseline)
+
+    def test_dfs(self):
+        assert isinstance(make_allocator("DFS"), DFSExact)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_allocator("greedy"), DASCGreedy)
+        assert isinstance(make_allocator("  GAME "), DASCGame)
+
+    def test_seed_and_alpha_forwarded(self):
+        game = make_allocator("Game", seed=42, alpha=3.0)
+        assert game.seed == 42
+        assert game.alpha == 3.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown approach"):
+            make_allocator("simulated-annealing")
+
+    def test_every_listed_approach_constructible(self):
+        for name in APPROACH_NAMES:
+            allocator = make_allocator(name)
+            assert allocator.name == name

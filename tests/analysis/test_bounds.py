@@ -1,0 +1,68 @@
+"""Theoretical-bound helper tests."""
+
+import math
+
+import pytest
+
+from repro.algorithms.utility import GameState
+from repro.analysis.bounds import (
+    GREEDY_RATIO,
+    greedy_lower_bound,
+    poa_lower_bound,
+    pos_lower_bound,
+)
+
+
+class TestGreedyBound:
+    def test_ratio_value(self):
+        assert GREEDY_RATIO == pytest.approx(1.0 - 1.0 / math.e)
+
+    def test_lower_bound(self):
+        assert greedy_lower_bound(10) == pytest.approx(10 * GREEDY_RATIO)
+        assert greedy_lower_bound(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_lower_bound(-1)
+
+    def test_observed_runs_respect_bound(self, small_synthetic):
+        from repro.algorithms.dfs import DFSExact
+        from repro.algorithms.greedy import DASCGreedy
+        from repro.simulation.platform import run_single_batch
+
+        optimum = run_single_batch(small_synthetic, DFSExact()).score
+        greedy = run_single_batch(small_synthetic, DASCGreedy()).score
+        assert greedy >= greedy_lower_bound(optimum) - 1e-9
+
+
+class TestGameBounds:
+    def make_state(self, example1, choices):
+        state = GameState(example1, example1.tasks, list(choices), alpha=10.0)
+        for worker, task in choices.items():
+            state.set_choice(worker, task)
+        return state
+
+    def test_pos_bound_in_unit_interval(self, example1):
+        state = self.make_state(example1, {1: 1, 2: 4, 3: 2})
+        bound = pos_lower_bound(state)
+        assert 0.0 <= bound <= 1.0
+
+    def test_pos_degenerate_when_all_on_one_task(self, example1):
+        state = self.make_state(example1, {1: 1, 2: 1, 3: 1})
+        assert pos_lower_bound(state) == 0.0
+
+    def test_pos_rejects_empty(self, example1):
+        state = GameState(example1, example1.tasks, [], alpha=10.0)
+        with pytest.raises(ValueError):
+            pos_lower_bound(state, n_players=0)
+
+    def test_poa_scales_with_phi_min(self, example1):
+        state = self.make_state(example1, {1: 1, 2: 4, 3: 2})
+        small = poa_lower_bound(state, phi_min=0.5)
+        large = poa_lower_bound(state, phi_min=1.0)
+        assert large == pytest.approx(2.0 * small)
+
+    def test_poa_rejects_degenerate_sizes(self, example1):
+        state = self.make_state(example1, {1: 1})
+        with pytest.raises(ValueError):
+            poa_lower_bound(state, phi_min=1.0, m_tasks=0)

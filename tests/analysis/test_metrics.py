@@ -1,0 +1,60 @@
+"""Assignment-metric tests."""
+
+import pytest
+
+from repro.analysis.metrics import assignment_metrics
+from repro.core.assignment import Assignment
+
+
+class TestAssignmentMetrics:
+    def test_example1_optimal_assignment(self, example1):
+        assignment = Assignment([(1, 2), (3, 1), (2, 4)])
+        metrics = assignment_metrics(assignment, example1)
+        assert metrics.score == 3
+        assert metrics.worker_utilisation == pytest.approx(1.0)
+        assert metrics.task_coverage == pytest.approx(3 / 5)
+        # travels: w1(2,1)->t2(2,2)=1, w3(5,3)->t1(4,1)=sqrt(5), w2(3,3)->t4(3,4)=1
+        assert metrics.total_travel == pytest.approx(2.0 + 5**0.5)
+        assert metrics.max_travel == pytest.approx(5**0.5)
+        assert metrics.mean_travel == pytest.approx((2.0 + 5**0.5) / 3)
+        # t1 and t4 are roots; all three have complete ancestor closures
+        assert metrics.ready_roots == 2
+        assert metrics.complete_chains == 3
+
+    def test_incomplete_chain_counted(self, example1):
+        # t2 assigned without t1: not a complete chain (metrics don't
+        # validate, they describe)
+        assignment = Assignment([(1, 2)])
+        metrics = assignment_metrics(assignment, example1)
+        assert metrics.complete_chains == 0
+        assert metrics.ready_roots == 0
+
+    def test_previously_assigned_completes_chain(self, example1):
+        assignment = Assignment([(1, 2)])
+        metrics = assignment_metrics(
+            assignment, example1, previously_assigned={1}
+        )
+        assert metrics.complete_chains == 1
+
+    def test_empty_assignment(self, example1):
+        metrics = assignment_metrics(Assignment(), example1)
+        assert metrics.score == 0
+        assert metrics.mean_travel == 0.0
+        assert metrics.worker_utilisation == 0.0
+
+    def test_custom_denominators(self, example1):
+        assignment = Assignment([(2, 4)])
+        metrics = assignment_metrics(
+            assignment, example1, offered_workers=2, offered_tasks=4
+        )
+        assert metrics.worker_utilisation == pytest.approx(0.5)
+        assert metrics.task_coverage == pytest.approx(0.25)
+
+    def test_as_dict_round_trip(self, example1):
+        assignment = Assignment([(2, 4)])
+        data = assignment_metrics(assignment, example1).as_dict()
+        assert data["score"] == 1.0
+        assert set(data) == {
+            "score", "worker_utilisation", "task_coverage", "total_travel",
+            "mean_travel", "max_travel", "complete_chains", "ready_roots",
+        }

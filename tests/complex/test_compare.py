@@ -1,0 +1,68 @@
+"""Strategy-comparison tests (the paper's Section I argument)."""
+
+import pytest
+
+from repro.complex.compare import (
+    compare_strategies,
+    format_comparison,
+    generate_complex_workload,
+)
+from repro.complex.model import DependencyPattern
+
+
+class TestWorkloadGenerator:
+    def test_counts_and_validity(self):
+        workers, tasks, skills = generate_complex_workload(
+            num_workers=30, num_complex=8, seed=2
+        )
+        assert len(workers) == 30
+        assert len(tasks) == 8
+        for task in tasks:
+            assert 2 <= len(task.skills) <= 4
+            assert all(s in skills for s in task.skills)
+
+    def test_deterministic_per_seed(self):
+        a = generate_complex_workload(seed=5)
+        b = generate_complex_workload(seed=5)
+        assert [t.skills for t in a[1]] == [t.skills for t in b[1]]
+
+
+class TestCompareStrategies:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        workers, tasks, skills = generate_complex_workload(seed=3)
+        return compare_strategies(workers, tasks, skills)
+
+    def test_both_strategies_reported(self, reports):
+        assert set(reports) == {"team", "dasc"}
+
+    def test_dasc_has_no_reserved_idle_time(self, reports):
+        assert reports["dasc"].idle_hours == 0.0
+
+    def test_team_formation_idles_workers(self, reports):
+        # with chain dependencies, multi-member teams necessarily idle
+        assert reports["team"].idle_hours > 0.0
+
+    def test_dasc_is_more_efficient_per_hour(self, reports):
+        # the paper's headline: releasing workers between subtasks beats
+        # reserving whole teams
+        assert reports["dasc"].subtasks_per_hour > reports["team"].subtasks_per_hour
+
+    def test_comparable_task_completion(self, reports):
+        # efficiency must not come from doing less work
+        assert reports["dasc"].subtasks_completed >= 0.8 * reports["team"].subtasks_completed
+
+    def test_parallel_pattern_runs(self):
+        workers, tasks, skills = generate_complex_workload(
+            num_workers=40, num_complex=10, seed=4
+        )
+        reports = compare_strategies(
+            workers, tasks, skills, pattern=DependencyPattern.PARALLEL
+        )
+        assert reports["dasc"].subtasks_completed > 0
+
+    def test_format_comparison(self, reports):
+        text = format_comparison(reports)
+        assert "Team formation" in text
+        assert "DA-SC (decomposed)" in text
+        assert "sub/h" in text

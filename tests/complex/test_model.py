@@ -1,0 +1,88 @@
+"""ComplexTask and decomposition tests."""
+
+import pytest
+
+from repro.complex.model import ComplexTask, DependencyPattern, decompose, decompose_all
+
+
+def make_complex(**overrides):
+    base = dict(id=1, location=(1.0, 1.0), start=0.0, wait=20.0,
+                skills=(2, 0, 5), subtask_duration=1.5)
+    base.update(overrides)
+    return ComplexTask(**base)
+
+
+class TestComplexTask:
+    def test_basic_properties(self):
+        task = make_complex()
+        assert task.deadline == 20.0
+        assert task.team_size == 3
+
+    def test_empty_skills_rejected(self):
+        with pytest.raises(ValueError, match="requires no skills"):
+            make_complex(skills=())
+
+    def test_duplicate_skills_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_complex(skills=(1, 1))
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError, match="negative waiting"):
+            make_complex(wait=-1.0)
+
+
+class TestDecompose:
+    def test_parallel_has_no_dependencies(self):
+        subtasks = decompose(make_complex(), DependencyPattern.PARALLEL)
+        assert all(t.is_root for t in subtasks)
+
+    def test_chain_is_sequential_and_closed(self):
+        subtasks = decompose(make_complex(), DependencyPattern.CHAIN, id_base=10)
+        assert [t.id for t in subtasks] == [10, 11, 12]
+        assert subtasks[0].dependencies == frozenset()
+        assert subtasks[1].dependencies == {10}
+        assert subtasks[2].dependencies == {10, 11}  # transitively closed
+
+    def test_subtasks_inherit_window_and_location(self):
+        complex_task = make_complex()
+        for sub in decompose(complex_task):
+            assert sub.location == complex_task.location
+            assert sub.start == complex_task.start
+            assert sub.wait == complex_task.wait
+            assert sub.duration == complex_task.subtask_duration
+
+    def test_skills_in_order(self):
+        subtasks = decompose(make_complex())
+        assert [t.skill for t in subtasks] == [2, 0, 5]
+
+    def test_custom_pattern(self):
+        subtasks = decompose(
+            make_complex(),
+            DependencyPattern.CUSTOM,
+            custom_edges={2: [0, 1], 1: []},
+        )
+        assert subtasks[2].dependencies == {0, 1}
+        assert subtasks[1].dependencies == frozenset()
+
+    def test_custom_requires_edges(self):
+        with pytest.raises(ValueError, match="requires custom_edges"):
+            decompose(make_complex(), DependencyPattern.CUSTOM)
+
+    def test_custom_rejects_forward_edges(self):
+        with pytest.raises(ValueError, match="earlier positions"):
+            decompose(make_complex(), DependencyPattern.CUSTOM,
+                      custom_edges={0: [2]})
+
+    def test_decompose_all_assigns_disjoint_ids(self):
+        tasks, membership = decompose_all(
+            [make_complex(id=1), make_complex(id=2, skills=(3, 4))]
+        )
+        assert [t.id for t in tasks] == [0, 1, 2, 3, 4]
+        assert membership == {1: [0, 1, 2], 2: [3, 4]}
+
+    def test_decomposed_dag_is_valid(self):
+        from repro.core.dependency import DependencyGraph
+
+        tasks, _ = decompose_all([make_complex(id=1), make_complex(id=2)])
+        graph = DependencyGraph.from_tasks(tasks)
+        assert len(graph) == 6

@@ -1,0 +1,106 @@
+"""Team-formation tests."""
+
+import pytest
+
+from repro.complex.model import ComplexTask
+from repro.complex.team import TeamFormation, form_team
+from repro.core.worker import Worker
+
+
+def make_complex(**overrides):
+    base = dict(id=1, location=(0.0, 0.0), start=0.0, wait=50.0,
+                skills=(0, 1, 2), subtask_duration=2.0)
+    base.update(overrides)
+    return ComplexTask(**base)
+
+
+def make_worker(wid, skills, location=(0.0, 0.0), **overrides):
+    base = dict(id=wid, location=location, start=0.0, wait=100.0,
+                velocity=1.0, max_distance=100.0, skills=frozenset(skills))
+    base.update(overrides)
+    return Worker(**base)
+
+
+class TestFormTeam:
+    def test_covers_all_skills(self):
+        workers = [make_worker(1, {0, 1}), make_worker(2, {2})]
+        team = form_team(make_complex(), workers)
+        assert team is not None
+        covered = {s for skills in team.members.values() for s in skills}
+        assert covered == {0, 1, 2}
+
+    def test_prefers_fewer_members(self):
+        # one worker covering everything beats three specialists
+        workers = [
+            make_worker(1, {0}), make_worker(2, {1}), make_worker(3, {2}),
+            make_worker(4, {0, 1, 2}),
+        ]
+        team = form_team(make_complex(), workers)
+        assert set(team.members) == {4}
+
+    def test_uncoverable_returns_none(self):
+        workers = [make_worker(1, {0, 1})]  # nobody has skill 2
+        assert form_team(make_complex(), workers) is None
+
+    def test_respects_distance_budget(self):
+        workers = [
+            make_worker(1, {0, 1, 2}, location=(90.0, 0.0), max_distance=10.0)
+        ]
+        assert form_team(make_complex(), workers) is None
+
+    def test_respects_deadline(self):
+        # travel 30 at velocity 1, deadline at 5
+        workers = [make_worker(1, {0, 1, 2}, location=(30.0, 0.0))]
+        assert form_team(make_complex(wait=5.0), workers) is None
+
+    def test_chain_timing(self):
+        # single co-located worker: 3 subtasks x 2.0 duration, no travel
+        workers = [make_worker(1, {0, 1, 2})]
+        team = form_team(make_complex(), workers)
+        assert team.completion == pytest.approx(6.0)
+        assert team.busy_hours == pytest.approx(6.0)
+        assert team.productive_hours == pytest.approx(6.0)
+        assert team.idle_hours == pytest.approx(0.0)
+
+    def test_idle_hours_accrue_for_waiting_members(self):
+        # two co-located specialists: both reserved for the full 2-subtask
+        # chain but each productive for only one slot
+        workers = [make_worker(1, {0}), make_worker(2, {1})]
+        team = form_team(make_complex(skills=(0, 1)), workers)
+        assert team.completion == pytest.approx(4.0)
+        assert team.busy_hours == pytest.approx(8.0)
+        assert team.productive_hours == pytest.approx(4.0)
+        assert team.idle_hours == pytest.approx(4.0)
+
+    def test_late_member_delays_chain(self):
+        # the skill-1 specialist needs 5 time units of travel
+        workers = [
+            make_worker(1, {0}),
+            make_worker(2, {1}, location=(5.0, 0.0)),
+        ]
+        team = form_team(make_complex(skills=(0, 1)), workers)
+        # subtask 0 runs [0, 2]; member 2 arrives at 5 -> subtask 1 runs [5, 7]
+        assert team.completion == pytest.approx(7.0)
+
+
+class TestTeamFormation:
+    def test_workers_not_reused_across_teams(self):
+        workers = [make_worker(1, {0, 1, 2})]
+        tasks = [make_complex(id=1), make_complex(id=2)]
+        result = TeamFormation().run(workers, tasks)
+        assert result.complex_completed == 1
+        assert result.unstaffed == [2]
+
+    def test_arrival_order_processing(self):
+        workers = [make_worker(1, {0, 1, 2})]
+        late = make_complex(id=1, start=10.0)
+        early = make_complex(id=2, start=0.0)
+        result = TeamFormation().run(workers, [late, early])
+        assert result.assignments[0].complex_id == 2
+
+    def test_aggregate_counters(self):
+        workers = [make_worker(1, {0}), make_worker(2, {1}), make_worker(3, {0, 1})]
+        tasks = [make_complex(id=1, skills=(0, 1))]
+        result = TeamFormation().run(workers, tasks)
+        assert result.subtasks_completed == 2
+        assert result.busy_hours > 0.0

@@ -1,0 +1,76 @@
+"""Shared fixtures: the paper's running example and small random instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+# Skill ids for the example's universe {psi_1 .. psi_4}.
+PSI_1, PSI_2, PSI_3, PSI_4 = range(4)
+
+
+def build_example1() -> ProblemInstance:
+    """Example 1 / Figure 1 / Tables I-II of the paper.
+
+    Three workers, five tasks, everyone appears at time 0 with generous
+    deadlines, speeds and moving budgets ("the maximum moving distance of
+    each worker is large enough and the moving speed of each worker is fast
+    enough").  The known outcomes: a dependency-aware allocation finishes 3
+    tasks (w1->t2, w3->t1, w2->t4 or equivalent); the nearest-worker
+    allocation finishes only 1.
+    """
+    skills = SkillUniverse.from_names(["psi-1", "psi-2", "psi-3", "psi-4"])
+    big = 1000.0
+    workers = [
+        Worker(id=1, location=(2.0, 1.0), start=0.0, wait=big, velocity=big,
+               max_distance=big, skills=frozenset({PSI_1, PSI_2})),
+        Worker(id=2, location=(3.0, 3.0), start=0.0, wait=big, velocity=big,
+               max_distance=big, skills=frozenset({PSI_4})),
+        Worker(id=3, location=(5.0, 3.0), start=0.0, wait=big, velocity=big,
+               max_distance=big, skills=frozenset({PSI_1, PSI_2, PSI_3})),
+    ]
+    tasks = [
+        Task(id=1, location=(4.0, 1.0), start=0.0, wait=big, skill=PSI_1,
+             dependencies=frozenset()),
+        Task(id=2, location=(2.0, 2.0), start=0.0, wait=big, skill=PSI_2,
+             dependencies=frozenset({1})),
+        Task(id=3, location=(5.0, 2.0), start=0.0, wait=big, skill=PSI_3,
+             dependencies=frozenset({1, 2})),
+        Task(id=4, location=(3.0, 4.0), start=0.0, wait=big, skill=PSI_4,
+             dependencies=frozenset()),
+        Task(id=5, location=(1.0, 2.0), start=0.0, wait=big, skill=PSI_3,
+             dependencies=frozenset({4})),
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills, name="example-1")
+
+
+@pytest.fixture
+def example1() -> ProblemInstance:
+    return build_example1()
+
+
+@pytest.fixture
+def small_synthetic() -> ProblemInstance:
+    """A 20x40 instance matching the paper's small-scale setting."""
+    from repro.datagen.distributions import IntRange
+
+    config = SyntheticConfig(
+        num_workers=20,
+        num_tasks=40,
+        skill_universe=10,
+        worker_skills=IntRange(1, 3),
+        dependency_size=IntRange(0, 8),
+        seed=42,
+    )
+    return generate_synthetic(config)
+
+
+@pytest.fixture
+def medium_synthetic() -> ProblemInstance:
+    """A 150x150 instance for integration tests."""
+    return generate_synthetic(SyntheticConfig(seed=9).scaled(0.03))

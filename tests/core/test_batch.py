@@ -1,0 +1,65 @@
+"""Batch slicing tests."""
+
+import pytest
+
+from repro.core.batch import Batch, iter_batches
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+def staggered_instance():
+    skills = SkillUniverse(1)
+    workers = [
+        Worker(id=i, location=(0, 0), start=float(i * 10), wait=5.0, velocity=1,
+               max_distance=1, skills=frozenset({0}))
+        for i in range(3)
+    ]
+    tasks = [
+        Task(id=i, location=(0, 0), start=float(i * 10 + 2), wait=5.0, skill=0)
+        for i in range(3)
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+
+
+class TestIterBatches:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            list(iter_batches(staggered_instance(), 0.0))
+
+    def test_covers_horizon(self):
+        instance = staggered_instance()
+        batches = list(iter_batches(instance, 5.0))
+        assert batches[0].time == 0.0
+        assert batches[-1].time == instance.horizon
+        assert [b.index for b in batches] == list(range(len(batches)))
+
+    def test_snapshots_active_entities(self):
+        instance = staggered_instance()
+        batches = {b.time: b for b in iter_batches(instance, 5.0)}
+        b5 = batches[5.0]
+        assert [w.id for w in b5.workers] == [0]
+        assert [t.id for t in b5.tasks] == [0]
+        b15 = batches[15.0]
+        assert [w.id for w in b15.workers] == [1]
+        b0 = batches[0.0]
+        assert [w.id for w in b0.workers] == [0]
+        assert b0.tasks == []
+
+    def test_empty_instance_yields_nothing(self):
+        skills = SkillUniverse(1)
+        instance = ProblemInstance(workers=[], tasks=[], skills=skills)
+        assert list(iter_batches(instance, 1.0)) == []
+
+    def test_large_interval_start_and_horizon_batches(self):
+        instance = staggered_instance()
+        batches = list(iter_batches(instance, 1000.0))
+        assert len(batches) == 2
+        assert batches[0].time == instance.earliest_start
+        assert batches[1].time == instance.horizon
+
+    def test_batch_repr_and_is_empty(self):
+        batch = Batch(index=0, time=1.0, workers=[], tasks=[])
+        assert batch.is_empty
+        assert "index=0" in repr(batch)

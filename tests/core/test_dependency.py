@@ -1,0 +1,128 @@
+"""DependencyGraph tests."""
+
+import pytest
+
+from repro.core.dependency import CyclicDependencyError, DependencyGraph
+from repro.core.exceptions import DascError
+from repro.core.task import Task
+
+
+def diamond() -> DependencyGraph:
+    #     1
+    #    / \
+    #   2   3
+    #    \ /
+    #     4
+    return DependencyGraph({1: set(), 2: {1}, 3: {1}, 4: {2, 3}})
+
+
+class TestConstruction:
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(DascError, match="unknown task"):
+            DependencyGraph({1: {99}})
+
+    def test_cycle_detected(self):
+        with pytest.raises(CyclicDependencyError) as err:
+            DependencyGraph({1: {2}, 2: {3}, 3: {1}})
+        cycle = err.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {1, 2, 3}
+
+    def test_two_node_cycle(self):
+        with pytest.raises(CyclicDependencyError):
+            DependencyGraph({1: {2}, 2: {1}})
+
+    def test_from_tasks(self):
+        tasks = [
+            Task(id=1, location=(0, 0), start=0, wait=1, skill=0),
+            Task(id=2, location=(0, 0), start=0, wait=1, skill=0,
+                 dependencies=frozenset({1})),
+        ]
+        graph = DependencyGraph.from_tasks(tasks)
+        assert graph.direct_dependencies(2) == {1}
+
+    def test_empty_graph(self):
+        graph = DependencyGraph({})
+        assert len(graph) == 0
+        assert graph.topological_order() == []
+
+
+class TestQueries:
+    def test_ancestors_close_transitively(self):
+        graph = diamond()
+        assert graph.ancestors(4) == {1, 2, 3}
+        assert graph.ancestors(2) == {1}
+        assert graph.ancestors(1) == frozenset()
+
+    def test_descendants(self):
+        graph = diamond()
+        assert graph.descendants(1) == {2, 3, 4}
+        assert graph.descendants(4) == frozenset()
+
+    def test_direct_dependents(self):
+        graph = diamond()
+        assert graph.direct_dependents(1) == {2, 3}
+        assert graph.direct_dependents(2) == {4}
+
+    def test_roots(self):
+        assert diamond().roots() == [1]
+
+    def test_topological_order_respects_edges(self):
+        graph = diamond()
+        order = graph.topological_order()
+        position = {tid: i for i, tid in enumerate(order)}
+        for tid in graph:
+            for dep in graph.direct_dependencies(tid):
+                assert position[dep] < position[tid]
+
+    def test_depth(self):
+        graph = diamond()
+        assert graph.depth(1) == 0
+        assert graph.depth(2) == 1
+        assert graph.depth(4) == 2
+
+    def test_associative_set(self):
+        graph = diamond()
+        assert graph.associative_set(4) == {1, 2, 3, 4}
+        assert graph.associative_set(1) == {1}
+
+    def test_associative_sets_match_example1(self):
+        # Example 1: {{t1}, {t1,t2}, {t1,t2,t3}, {t4}, {t4,t5}}
+        graph = DependencyGraph({1: set(), 2: {1}, 3: {1, 2}, 4: set(), 5: {4}})
+        sets = graph.associative_sets()
+        assert sets == {
+            1: frozenset({1}),
+            2: frozenset({1, 2}),
+            3: frozenset({1, 2, 3}),
+            4: frozenset({4}),
+            5: frozenset({4, 5}),
+        }
+
+
+class TestSatisfaction:
+    def test_satisfied_requires_all_direct_deps(self):
+        graph = diamond()
+        assert graph.satisfied(4, {2, 3})
+        assert not graph.satisfied(4, {2})
+        assert graph.satisfied(1, set())
+
+    def test_ready_tasks(self):
+        graph = diamond()
+        assert graph.ready_tasks(set()) == [1]
+        assert sorted(graph.ready_tasks({1})) == [2, 3]
+        assert graph.ready_tasks({1, 2, 3}) == [4]
+        assert graph.ready_tasks({1, 2, 3, 4}) == []
+
+    def test_satisfied_is_monotone_in_assigned_set(self):
+        graph = diamond()
+        assert not graph.satisfied(4, {2})
+        assert graph.satisfied(4, {2, 3, 1})
+
+
+class TestDeepChain:
+    def test_long_chain_closure(self):
+        n = 500
+        graph = DependencyGraph({i: ({i - 1} if i else set()) for i in range(n)})
+        assert graph.ancestors(n - 1) == frozenset(range(n - 1))
+        assert graph.depth(n - 1) == n - 1
+        assert graph.topological_order() == list(range(n))

@@ -1,0 +1,91 @@
+"""Incremental feasibility cache tests."""
+
+import pytest
+
+from repro.core.incremental import IncrementalFeasibility
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+def worker(wid, x=0.0, skills={0}, **overrides):
+    base = dict(id=wid, location=(x, 0.0), start=0.0, wait=20.0, velocity=1.0,
+                max_distance=10.0, skills=frozenset(skills))
+    base.update(overrides)
+    return Worker(**base)
+
+
+def task(tid, x=1.0, skill=0, **overrides):
+    base = dict(id=tid, location=(x, 0.0), start=0.0, wait=10.0, skill=skill)
+    base.update(overrides)
+    return Task(**base)
+
+
+class TestMutations:
+    def test_add_task_links_existing_workers(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        cache.add_task(task(1))
+        assert cache.tasks_of(1) == [1]
+        assert cache.workers_of(1) == [1]
+
+    def test_add_worker_links_existing_tasks(self):
+        cache = IncrementalFeasibility()
+        cache.add_task(task(1))
+        cache.add_worker(worker(1))
+        assert cache.tasks_of(1) == [1]
+
+    def test_skill_mismatch_never_links(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1, skills={5}))
+        cache.add_task(task(1))
+        assert cache.tasks_of(1) == []
+
+    def test_remove_task(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        cache.add_task(task(1))
+        cache.remove_task(1)
+        assert cache.tasks_of(1) == []
+        assert cache.num_tasks == 0
+
+    def test_remove_worker(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        cache.add_task(task(1))
+        cache.remove_worker(1)
+        assert cache.workers_of(1) == []
+
+    def test_duplicate_ids_rejected(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        with pytest.raises(KeyError, match="already present"):
+            cache.add_worker(worker(1))
+        cache.add_task(task(1))
+        with pytest.raises(KeyError, match="already present"):
+            cache.add_task(task(1))
+
+    def test_update_worker_relocates(self):
+        cache = IncrementalFeasibility()
+        cache.add_task(task(1, x=1.0))
+        cache.add_worker(worker(1, x=100.0, max_distance=5.0))
+        assert cache.tasks_of(1) == []
+        cache.update_worker(worker(1, x=0.0, max_distance=5.0))
+        assert cache.tasks_of(1) == [1]
+
+
+class TestTimeFiltering:
+    def test_pairs_expire_as_time_advances(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        cache.add_task(task(1, wait=5.0))  # deadline 5, travel 1
+        assert cache.tasks_of(1, now=0.0) == [1]
+        assert cache.tasks_of(1, now=3.9) == [1]
+        assert cache.tasks_of(1, now=4.1) == []
+
+    def test_pair_count(self):
+        cache = IncrementalFeasibility()
+        cache.add_worker(worker(1))
+        cache.add_worker(worker(2, skills={1}))
+        cache.add_task(task(1))
+        cache.add_task(task(2, skill=1))
+        assert cache.pair_count(now=0.0) == 2

@@ -1,0 +1,67 @@
+"""SkillUniverse tests."""
+
+import pytest
+
+from repro.core.skills import SkillUniverse
+
+
+class TestConstruction:
+    def test_default_names_are_generated(self):
+        universe = SkillUniverse(3)
+        assert universe.names == ["skill-0", "skill-1", "skill-2"]
+
+    def test_partial_names_are_padded(self):
+        universe = SkillUniverse(3, names=["painting"])
+        assert universe.names == ["painting", "skill-1", "skill-2"]
+
+    def test_from_names(self):
+        universe = SkillUniverse.from_names(["a", "b"])
+        assert len(universe) == 2
+        assert universe.id_of("b") == 1
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SkillUniverse(0)
+
+    def test_too_many_names_rejected(self):
+        with pytest.raises(ValueError, match="names given"):
+            SkillUniverse(1, names=["a", "b"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SkillUniverse(2, names=["a", "a"])
+
+
+class TestQueries:
+    def test_membership(self):
+        universe = SkillUniverse(4)
+        assert 0 in universe
+        assert 3 in universe
+        assert 4 not in universe
+        assert -1 not in universe
+
+    def test_iteration_yields_ids(self):
+        assert list(SkillUniverse(3)) == [0, 1, 2]
+
+    def test_name_round_trip(self):
+        universe = SkillUniverse.from_names(["plumbing", "painting"])
+        assert universe.name_of(universe.id_of("plumbing")) == "plumbing"
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown skill name"):
+            SkillUniverse(2).id_of("nope")
+
+    def test_validate_out_of_range(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            SkillUniverse(2).validate(5)
+
+    def test_validate_set(self):
+        universe = SkillUniverse(5)
+        assert universe.validate_set([1, 3, 3]) == frozenset({1, 3})
+        with pytest.raises(ValueError):
+            universe.validate_set([1, 9])
+
+    def test_describe(self):
+        universe = SkillUniverse.from_names(["a", "b", "c"])
+        assert universe.describe([2, 0]) == "a, c"
+        assert universe.describe() == "a, b, c"

@@ -1,0 +1,61 @@
+"""Task model tests."""
+
+import pytest
+
+from repro.core.task import Task
+
+
+def make_task(**overrides):
+    base = dict(
+        id=3,
+        location=(1.0, 1.0),
+        start=5.0,
+        wait=4.0,
+        skill=2,
+        dependencies=frozenset({1, 2}),
+    )
+    base.update(overrides)
+    return Task(**base)
+
+
+class TestValidation:
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError, match="negative waiting"):
+            make_task(wait=-0.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            make_task(duration=-1.0)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="depends on itself"):
+            make_task(dependencies=frozenset({3}))
+
+    def test_dependencies_coerced(self):
+        task = make_task(dependencies=[1, 1, 2])
+        assert task.dependencies == frozenset({1, 2})
+
+
+class TestBehaviour:
+    def test_deadline(self):
+        assert make_task().deadline == 9.0
+
+    def test_is_root(self):
+        assert make_task(dependencies=frozenset()).is_root
+        assert not make_task().is_root
+
+    def test_active_window(self):
+        task = make_task()
+        assert not task.active_at(4.99)
+        assert task.active_at(5.0)
+        assert task.active_at(9.0)
+        assert not task.active_at(9.01)
+
+    def test_zero_wait_task_is_active_at_one_instant(self):
+        task = make_task(wait=0.0)
+        assert task.active_at(5.0)
+        assert not task.active_at(5.0001)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            make_task().skill = 0

@@ -1,0 +1,90 @@
+"""Worker model tests."""
+
+import pytest
+
+from repro.core.worker import Worker
+
+
+def make_worker(**overrides):
+    base = dict(
+        id=1,
+        location=(0.0, 0.0),
+        start=10.0,
+        wait=5.0,
+        velocity=2.0,
+        max_distance=8.0,
+        skills=frozenset({0, 1}),
+    )
+    base.update(overrides)
+    return Worker(**base)
+
+
+class TestValidation:
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError, match="negative waiting"):
+            make_worker(wait=-1.0)
+
+    def test_negative_velocity_rejected(self):
+        with pytest.raises(ValueError, match="negative velocity"):
+            make_worker(velocity=-0.1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="negative max moving"):
+            make_worker(max_distance=-2.0)
+
+    def test_skills_coerced_to_frozenset(self):
+        worker = make_worker(skills=[1, 1, 2])
+        assert worker.skills == frozenset({1, 2})
+
+    def test_location_coerced_to_float_tuple(self):
+        worker = make_worker(location=(1, 2))
+        assert worker.location == (1.0, 2.0)
+
+
+class TestBehaviour:
+    def test_deadline(self):
+        assert make_worker().deadline == 15.0
+
+    def test_has_skill(self):
+        worker = make_worker()
+        assert worker.has_skill(0)
+        assert not worker.has_skill(9)
+        assert worker.has_any_skill([9, 1])
+        assert not worker.has_any_skill([7, 8])
+
+    def test_active_window(self):
+        worker = make_worker()
+        assert not worker.active_at(9.99)
+        assert worker.active_at(10.0)
+        assert worker.active_at(15.0)
+        assert not worker.active_at(15.01)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            make_worker().wait = 100.0
+
+
+class TestRelocated:
+    def test_moves_and_consumes_budget(self):
+        worker = make_worker()
+        moved = worker.relocated((3.0, 4.0), now=12.0, travelled=5.0)
+        assert moved.location == (3.0, 4.0)
+        assert moved.start == 12.0
+        assert moved.max_distance == pytest.approx(3.0)
+        assert moved.skills == worker.skills
+        assert moved.id == worker.id
+
+    def test_wait_shrinks_to_remaining_window(self):
+        worker = make_worker()  # window [10, 15]
+        moved = worker.relocated((1.0, 1.0), now=13.0)
+        assert moved.deadline == pytest.approx(15.0)
+
+    def test_lapsed_window_leaves_zero_wait(self):
+        worker = make_worker()
+        moved = worker.relocated((1.0, 1.0), now=20.0)
+        assert moved.wait == 0.0
+
+    def test_budget_never_negative(self):
+        worker = make_worker()
+        moved = worker.relocated((1.0, 1.0), now=11.0, travelled=100.0)
+        assert moved.max_distance == 0.0

@@ -1,0 +1,72 @@
+"""Dependency wiring tests."""
+
+import random
+
+from repro.datagen.dependencies import closed_dependency_sample, wire_dependencies
+from repro.datagen.distributions import IntRange
+
+
+class TestClosedDependencySample:
+    def test_zero_target(self):
+        rng = random.Random(0)
+        assert closed_dependency_sample([1, 2], {1: frozenset(), 2: frozenset()}, 0, rng) == frozenset()
+
+    def test_no_candidates(self):
+        rng = random.Random(0)
+        assert closed_dependency_sample([], {}, 5, rng) == frozenset()
+
+    def test_includes_closures(self):
+        rng = random.Random(1)
+        closures = {3: frozenset({1, 2})}
+        deps = closed_dependency_sample([3], closures, 1, rng)
+        assert deps == frozenset({1, 2, 3})
+
+    def test_reaches_target_when_possible(self):
+        rng = random.Random(2)
+        candidates = list(range(10))
+        closures = {i: frozenset() for i in candidates}
+        deps = closed_dependency_sample(candidates, closures, 4, rng)
+        assert len(deps) == 4
+
+
+class TestWireDependencies:
+    def test_all_sets_transitively_closed(self):
+        rng = random.Random(3)
+        ids = list(range(60))
+        deps = wire_dependencies(ids, IntRange(0, 8), rng)
+        for tid, dset in deps.items():
+            for dep in dset:
+                assert deps[dep] <= dset, f"task {tid} not closed over {dep}"
+
+    def test_only_earlier_tasks(self):
+        rng = random.Random(4)
+        ids = list(range(40))
+        deps = wire_dependencies(ids, IntRange(0, 5), rng)
+        for tid, dset in deps.items():
+            assert all(dep < tid for dep in dset)
+
+    def test_acyclic_by_construction(self):
+        from repro.core.dependency import DependencyGraph
+
+        rng = random.Random(5)
+        deps = wire_dependencies(list(range(50)), IntRange(0, 10), rng)
+        graph = DependencyGraph(deps)  # raises on cycles
+        assert len(graph) == 50
+
+    def test_group_restriction(self):
+        rng = random.Random(6)
+        ids = list(range(30))
+        groups = {tid: tid % 3 for tid in ids}
+        deps = wire_dependencies(ids, IntRange(0, 4), rng, groups=groups)
+        for tid, dset in deps.items():
+            assert all(groups[dep] == groups[tid] for dep in dset)
+
+    def test_zero_range_gives_no_dependencies(self):
+        rng = random.Random(7)
+        deps = wire_dependencies(list(range(10)), IntRange(0, 0), rng)
+        assert all(not d for d in deps.values())
+
+    def test_deterministic_per_seed(self):
+        a = wire_dependencies(list(range(30)), IntRange(0, 6), random.Random(9))
+        b = wire_dependencies(list(range(30)), IntRange(0, 6), random.Random(9))
+        assert a == b

@@ -1,0 +1,58 @@
+"""Range helper tests."""
+
+import random
+
+import pytest
+
+from repro.datagen.distributions import IntRange, Range
+
+
+class TestRange:
+    def test_sample_within_bounds(self):
+        rng = random.Random(0)
+        r = Range(2.0, 3.0)
+        for _ in range(100):
+            assert 2.0 <= r.sample(rng) <= 3.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            Range(3.0, 2.0)
+
+    def test_degenerate_range_ok(self):
+        rng = random.Random(0)
+        assert Range(1.5, 1.5).sample(rng) == 1.5
+
+    def test_scaled(self):
+        assert Range(1.0, 2.0).scaled(0.01) == Range(0.01, 0.02)
+
+    def test_of_coerces_tuples(self):
+        assert Range.of((1, 2)) == Range(1.0, 2.0)
+        r = Range(0.0, 1.0)
+        assert Range.of(r) is r
+
+    def test_str(self):
+        assert str(Range(0.0, 0.5)) == "[0, 0.5]"
+
+
+class TestIntRange:
+    def test_sample_within_bounds(self):
+        rng = random.Random(0)
+        r = IntRange(1, 5)
+        samples = {r.sample(rng) for _ in range(200)}
+        assert samples <= {1, 2, 3, 4, 5}
+        assert len(samples) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            IntRange(5, 1)
+
+    def test_clamped(self):
+        assert IntRange(0, 70).clamped(10) == IntRange(0, 10)
+        assert IntRange(5, 70).clamped(2) == IntRange(2, 2)
+        assert IntRange(0, 5).clamped(10) == IntRange(0, 5)
+
+    def test_of_coerces(self):
+        assert IntRange.of((1, 3)) == IntRange(1, 3)
+
+    def test_str(self):
+        assert str(IntRange(0, 70)) == "[0, 70]"

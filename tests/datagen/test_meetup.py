@@ -1,0 +1,95 @@
+"""Meetup-like generator (Table IV substitute) tests."""
+
+import pytest
+
+from repro.datagen.distributions import IntRange, Range
+from repro.datagen.meetup import MeetupLikeConfig, generate_meetup_like
+from repro.spatial.region import HONG_KONG_BOX
+
+
+def small_config(**overrides):
+    base = dict(num_workers=120, num_tasks=60, num_groups=8, num_tags=40, seed=2)
+    base.update(overrides)
+    return MeetupLikeConfig(**base)
+
+
+class TestDefaults:
+    def test_paper_population(self):
+        cfg = MeetupLikeConfig()
+        assert cfg.num_workers == 3525
+        assert cfg.num_tasks == 1282
+        assert cfg.start_time == Range(0.0, 200.0)
+        assert cfg.waiting_time == Range(3.0, 5.0)
+        assert cfg.velocity == Range(0.01, 0.015)
+        assert cfg.max_distance == Range(0.03, 0.035)
+        assert cfg.region == HONG_KONG_BOX
+
+
+class TestGeneration:
+    def test_counts_and_region(self):
+        cfg = small_config()
+        instance = generate_meetup_like(cfg)
+        assert instance.num_workers == 120
+        assert instance.num_tasks == 60
+        for worker in instance.workers:
+            assert cfg.region.contains(worker.location)
+        for task in instance.tasks:
+            assert cfg.region.contains(task.location)
+
+    def test_workers_have_tags(self):
+        instance = generate_meetup_like(small_config())
+        assert all(worker.skills for worker in instance.workers)
+
+    def test_dependency_dag_valid_and_closed(self):
+        instance = generate_meetup_like(small_config(dependency_size=IntRange(0, 5)))
+        graph = instance.dependency_graph
+        for tid in graph:
+            assert graph.direct_dependencies(tid) == graph.ancestors(tid)
+
+    def test_dependencies_respect_time_order(self):
+        instance = generate_meetup_like(small_config())
+        by_id = {t.id: t for t in instance.tasks}
+        for task in instance.tasks:
+            for dep in task.dependencies:
+                assert by_id[dep].start <= task.start
+
+    def test_task_skill_is_a_group_tag_some_worker_can_match(self):
+        # at least some tasks must be skill-servable for the instance to be
+        # interesting; with 120 workers over 8 groups this holds easily.
+        instance = generate_meetup_like(small_config())
+        servable = sum(
+            1
+            for task in instance.tasks
+            if any(task.skill in w.skills for w in instance.workers)
+        )
+        assert servable > len(instance.tasks) * 0.5
+
+    def test_deterministic_per_seed(self):
+        a = generate_meetup_like(small_config(seed=7))
+        b = generate_meetup_like(small_config(seed=7))
+        assert [t.location for t in a.tasks] == [t.location for t in b.tasks]
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generate_meetup_like(small_config(num_groups=0))
+
+
+class TestScaled:
+    def test_population_scales_groups_with_sqrt(self):
+        cfg = MeetupLikeConfig().scaled(0.25)
+        assert cfg.num_workers == round(3525 * 0.25)
+        assert cfg.num_tasks == round(1282 * 0.25)
+        assert cfg.num_groups == 48  # 96 * 0.5
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            MeetupLikeConfig().scaled(-1.0)
+
+    def test_burst_span_clusters_group_tasks_in_time(self):
+        cfg = small_config(burst_span=5.0)
+        instance = generate_meetup_like(cfg)
+        # tasks sharing a dependency edge belong to one group burst
+        by_id = {t.id: t for t in instance.tasks}
+        for task in instance.tasks:
+            for dep in task.dependencies:
+                assert task.start - by_id[dep].start <= cfg.burst_span + 1e-9

@@ -1,0 +1,98 @@
+"""Skewed sampler tests."""
+
+import random
+
+import pytest
+
+from repro.datagen.distributions import Range
+from repro.datagen.skew import (
+    clustering_coefficient,
+    spatial_sampler,
+    temporal_sampler,
+)
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.spatial.region import UNIT_HALF_BOX
+
+
+class TestSpatialSampler:
+    def test_uniform_mode(self):
+        rng = random.Random(0)
+        sample = spatial_sampler("uniform", UNIT_HALF_BOX, rng)
+        draw_rng = random.Random(1)
+        points = [sample(draw_rng) for _ in range(500)]
+        assert all(UNIT_HALF_BOX.contains(p) for p in points)
+        assert clustering_coefficient(points, UNIT_HALF_BOX) < 3.0
+
+    def test_hotspots_cluster(self):
+        rng = random.Random(0)
+        sample = spatial_sampler("hotspots", UNIT_HALF_BOX, rng, num_hotspots=2)
+        draw_rng = random.Random(1)
+        points = [sample(draw_rng) for _ in range(500)]
+        assert all(UNIT_HALF_BOX.contains(p) for p in points)
+        assert clustering_coefficient(points, UNIT_HALF_BOX) > 5.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown spatial mode"):
+            spatial_sampler("pareto", UNIT_HALF_BOX, random.Random(0))
+
+    def test_bad_hotspot_count(self):
+        with pytest.raises(ValueError, match="at least one hotspot"):
+            spatial_sampler("hotspots", UNIT_HALF_BOX, random.Random(0), num_hotspots=0)
+
+
+class TestTemporalSampler:
+    def test_uniform_mode(self):
+        sample = temporal_sampler("uniform", Range(0, 100), random.Random(0))
+        draws = [sample(random.Random(i)) for i in range(100)]
+        assert all(0 <= d <= 100 for d in draws)
+
+    def test_rush_concentrates(self):
+        rng = random.Random(3)
+        sample = temporal_sampler("rush", Range(0, 100), rng, num_peaks=2)
+        draw_rng = random.Random(1)
+        draws = sorted(sample(draw_rng) for _ in range(400))
+        # most mass within a few units of the two peaks -> low spread around
+        # the nearest decile vs uniform
+        in_window = 0
+        for d in draws:
+            if any(abs(d - other) < 10 for other in draws[::40]):
+                in_window += 1
+        assert in_window > 350
+        assert all(0 <= d <= 100 for d in draws)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown temporal mode"):
+            temporal_sampler("burst", Range(0, 1), random.Random(0))
+
+    def test_bad_peaks(self):
+        with pytest.raises(ValueError, match="at least one peak"):
+            temporal_sampler("rush", Range(0, 1), random.Random(0), num_peaks=0)
+
+
+class TestGeneratorIntegration:
+    def test_hotspot_instances_cluster(self):
+        uniform = generate_synthetic(
+            SyntheticConfig(seed=4, spatial="uniform").scaled(0.05)
+        )
+        skewed = generate_synthetic(
+            SyntheticConfig(seed=4, spatial="hotspots").scaled(0.05)
+        )
+        cc_uniform = clustering_coefficient(
+            [t.location for t in uniform.tasks], UNIT_HALF_BOX
+        )
+        cc_skewed = clustering_coefficient(
+            [t.location for t in skewed.tasks], UNIT_HALF_BOX
+        )
+        assert cc_skewed > 2.0 * cc_uniform
+
+    def test_rush_instances_valid(self):
+        instance = generate_synthetic(
+            SyntheticConfig(seed=4, temporal="rush").scaled(0.05)
+        )
+        cfg = SyntheticConfig()
+        for task in instance.tasks:
+            assert cfg.start_time.low <= task.start <= cfg.start_time.high
+
+    def test_unknown_mode_propagates(self):
+        with pytest.raises(ValueError, match="unknown spatial mode"):
+            generate_synthetic(SyntheticConfig(seed=1, spatial="blobs").scaled(0.01))

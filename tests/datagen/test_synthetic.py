@@ -1,0 +1,99 @@
+"""Synthetic generator (Table V) tests."""
+
+import pytest
+
+from repro.datagen.distributions import IntRange, Range
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.spatial.region import UNIT_HALF_BOX
+
+
+def small_config(**overrides):
+    base = dict(num_workers=50, num_tasks=60, skill_universe=20,
+                dependency_size=IntRange(0, 4), seed=1)
+    base.update(overrides)
+    return SyntheticConfig(**base)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SyntheticConfig()
+        assert cfg.num_workers == 5000
+        assert cfg.num_tasks == 5000
+        assert cfg.skill_universe == 1500
+        assert cfg.dependency_size == IntRange(0, 70)
+        assert cfg.worker_skills == IntRange(1, 15)
+        assert cfg.start_time == Range(0.0, 75.0)
+        assert cfg.waiting_time == Range(10.0, 15.0)
+        assert cfg.velocity == Range(0.03, 0.04)
+        assert cfg.max_distance == Range(0.3, 0.4)
+        assert cfg.region == UNIT_HALF_BOX
+
+
+class TestGeneration:
+    def test_counts(self):
+        instance = generate_synthetic(small_config())
+        assert instance.num_workers == 50
+        assert instance.num_tasks == 60
+        assert len(instance.skills) == 20
+
+    def test_attributes_within_ranges(self):
+        cfg = small_config()
+        instance = generate_synthetic(cfg)
+        for worker in instance.workers:
+            assert cfg.region.contains(worker.location)
+            assert cfg.start_time.low <= worker.start <= cfg.start_time.high
+            assert cfg.waiting_time.low <= worker.wait <= cfg.waiting_time.high
+            assert cfg.velocity.low <= worker.velocity <= cfg.velocity.high
+            assert cfg.max_distance.low <= worker.max_distance <= cfg.max_distance.high
+            assert cfg.worker_skills.low <= len(worker.skills) <= cfg.worker_skills.high
+        for task in instance.tasks:
+            assert cfg.region.contains(task.location)
+            assert task.skill in instance.skills
+
+    def test_task_starts_sorted_by_id(self):
+        instance = generate_synthetic(small_config())
+        starts = [t.start for t in sorted(instance.tasks, key=lambda t: t.id)]
+        assert starts == sorted(starts)
+
+    def test_dependency_dag_valid(self):
+        instance = generate_synthetic(small_config(dependency_size=IntRange(0, 10)))
+        graph = instance.dependency_graph  # raises on cycles
+        for tid in graph:
+            # generator emits transitively closed sets
+            assert graph.direct_dependencies(tid) == graph.ancestors(tid)
+
+    def test_deterministic_per_seed(self):
+        a = generate_synthetic(small_config(seed=5))
+        b = generate_synthetic(small_config(seed=5))
+        assert [w.location for w in a.workers] == [w.location for w in b.workers]
+        assert [t.dependencies for t in a.tasks] == [t.dependencies for t in b.tasks]
+
+    def test_seeds_differ(self):
+        a = generate_synthetic(small_config(seed=1))
+        b = generate_synthetic(small_config(seed=2))
+        assert [w.location for w in a.workers] != [w.location for w in b.workers]
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generate_synthetic(small_config(num_workers=0))
+
+
+class TestScaled:
+    def test_scales_population_universe_and_dependencies(self):
+        cfg = SyntheticConfig().scaled(0.1)
+        assert cfg.num_workers == 500
+        assert cfg.num_tasks == 500
+        assert cfg.skill_universe == 150
+        assert cfg.dependency_size == IntRange(0, 7)
+
+    def test_preserves_per_entity_ranges(self):
+        cfg = SyntheticConfig().scaled(0.1)
+        assert cfg.velocity == SyntheticConfig().velocity
+        assert cfg.start_time == SyntheticConfig().start_time
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            SyntheticConfig().scaled(0.0)
+
+    def test_with_seed(self):
+        assert SyntheticConfig().with_seed(99).seed == 99

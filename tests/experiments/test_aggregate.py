@@ -1,0 +1,82 @@
+"""Multi-seed aggregation tests."""
+
+import pytest
+
+from repro.experiments.aggregate import (
+    aggregate_sweeps,
+    format_aggregate,
+    run_repeated_sweep,
+)
+from repro.experiments.harness import SweepPoint, SweepResult
+
+
+def sweep(scores):
+    result = SweepResult(name="demo", parameter="p")
+    for label, per_approach in scores.items():
+        for approach, score in per_approach.items():
+            result.points.append(SweepPoint(label, approach, score, 0.01))
+    return result
+
+
+class TestAggregateSweeps:
+    def test_mean_and_std(self):
+        a = sweep({"x": {"G": 10}, "y": {"G": 20}})
+        b = sweep({"x": {"G": 14}, "y": {"G": 20}})
+        agg = aggregate_sweeps([a, b], seeds=[1, 2])
+        point = agg.point("x", "G")
+        assert point.mean_score == pytest.approx(12.0)
+        assert point.std_score == pytest.approx(2.0)
+        assert point.runs == 2
+        assert agg.point("y", "G").std_score == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_sweeps([], seeds=[])
+
+    def test_mismatched_shapes_rejected(self):
+        a = sweep({"x": {"G": 1}})
+        b = sweep({"y": {"G": 1}})
+        with pytest.raises(ValueError, match="mismatching"):
+            aggregate_sweeps([a, b], seeds=[1, 2])
+
+    def test_mean_series(self):
+        a = sweep({"x": {"G": 10}, "y": {"G": 20}})
+        agg = aggregate_sweeps([a], seeds=[1])
+        assert agg.mean_scores_of("G") == [10.0, 20.0]
+
+
+class TestRunRepeatedSweep:
+    def test_repeats_runner_per_seed(self):
+        calls = []
+
+        def fake_runner(seed, **kwargs):
+            calls.append(seed)
+            return sweep({"x": {"G": seed}})
+
+        agg = run_repeated_sweep(fake_runner, seeds=[3, 5])
+        assert calls == [3, 5]
+        assert agg.point("x", "G").mean_score == pytest.approx(4.0)
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_repeated_sweep(lambda seed: sweep({}), seeds=[])
+
+    def test_real_runner_integration(self):
+        from repro.experiments.runner import run_table6
+
+        agg = run_repeated_sweep(
+            run_table6, seeds=[1, 2], scale=0.4, approaches=["Greedy", "Random"]
+        )
+        assert agg.approaches == ["Greedy", "Random"]
+        greedy = agg.point("small-scale", "Greedy")
+        random_ = agg.point("small-scale", "Random")
+        assert greedy.mean_score >= random_.mean_score
+
+
+class TestFormatAggregate:
+    def test_renders_mean_pm_std(self):
+        a = sweep({"x": {"G": 10}})
+        b = sweep({"x": {"G": 14}})
+        text = format_aggregate(aggregate_sweeps([a, b], seeds=[1, 2]))
+        assert "12.0±2.0" in text
+        assert "seeds [1, 2]" in text

@@ -1,0 +1,59 @@
+"""Export round-trip tests."""
+
+import csv
+import io
+
+from repro.experiments.export import (
+    load_sweep_json,
+    save_sweep_csv,
+    save_sweep_json,
+    sweep_from_dict,
+    sweep_to_csv,
+    sweep_to_dict,
+)
+from repro.experiments.harness import SweepPoint, SweepResult
+
+
+def sample():
+    result = SweepResult(name="Fig X", parameter="d")
+    result.points = [
+        SweepPoint("[1, 2]", "Greedy", 10, 0.015),
+        SweepPoint("[1, 2]", "Random", 4, 0.012),
+        SweepPoint("[2, 3]", "Greedy", 12, 0.018),
+    ]
+    return result
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = sweep_to_csv(sample())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["experiment", "parameter", "label", "approach",
+                           "score", "elapsed_s"]
+        assert len(rows) == 4
+        assert rows[1][:4] == ["Fig X", "d", "[1, 2]", "Greedy"]
+        assert rows[1][4] == "10"
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "r.csv"
+        save_sweep_csv(sample(), path)
+        assert path.read_text().startswith("experiment,")
+
+
+class TestJson:
+    def test_round_trip_in_memory(self):
+        original = sample()
+        restored = sweep_from_dict(sweep_to_dict(original))
+        assert restored.name == original.name
+        assert restored.parameter == original.parameter
+        assert restored.points == original.points
+
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_sweep_json(sample(), path)
+        restored = load_sweep_json(path)
+        assert restored.points == sample().points
+
+    def test_series_survive(self):
+        restored = sweep_from_dict(sweep_to_dict(sample()))
+        assert restored.scores_of("Greedy") == [10, 12]

@@ -1,0 +1,79 @@
+"""Sweep harness tests."""
+
+import pytest
+
+from repro.experiments.harness import (
+    SweepPoint,
+    SweepResult,
+    evaluate_approaches,
+    run_sweep,
+)
+
+
+class TestSweepResult:
+    def make(self):
+        result = SweepResult(name="demo", parameter="p")
+        result.points = [
+            SweepPoint("a", "Greedy", 5, 0.1),
+            SweepPoint("a", "Random", 2, 0.05),
+            SweepPoint("b", "Greedy", 7, 0.2),
+            SweepPoint("b", "Random", 3, 0.06),
+        ]
+        return result
+
+    def test_labels_and_approaches_preserve_order(self):
+        result = self.make()
+        assert result.labels == ["a", "b"]
+        assert result.approaches == ["Greedy", "Random"]
+
+    def test_point_lookup(self):
+        result = self.make()
+        assert result.point("b", "Random").score == 3
+        with pytest.raises(KeyError):
+            result.point("c", "Greedy")
+
+    def test_series_extraction(self):
+        result = self.make()
+        assert result.scores_of("Greedy") == [5, 7]
+        assert result.times_of("Random") == [0.05, 0.06]
+
+
+class TestEvaluateApproaches:
+    def test_single_batch_mode(self, example1):
+        results = evaluate_approaches(
+            example1, ["Greedy", "Closest"], single_batch=True
+        )
+        assert results["Greedy"][0] == 3
+        assert results["Closest"][0] == 1
+        assert all(elapsed >= 0.0 for _, elapsed in results.values())
+
+    def test_platform_mode(self, example1):
+        results = evaluate_approaches(example1, ["Greedy"], batch_interval=100.0)
+        assert results["Greedy"][0] >= 3
+
+    def test_custom_allocator_override(self, example1):
+        from repro.algorithms.dfs import DFSExact
+
+        results = evaluate_approaches(
+            example1,
+            ["MyDFS"],
+            single_batch=True,
+            allocators={"MyDFS": DFSExact()},
+        )
+        assert results["MyDFS"][0] == 3
+
+
+class TestRunSweep:
+    def test_sweep_builds_full_grid(self, example1):
+        result = run_sweep(
+            "demo",
+            "dummy",
+            [1, 2, 3],
+            lambda value: example1,
+            ["Greedy", "Closest"],
+            single_batch=True,
+        )
+        assert result.labels == ["1", "2", "3"]
+        assert result.approaches == ["Greedy", "Closest"]
+        assert len(result.points) == 6
+        assert result.scores_of("Greedy") == [3, 3, 3]

@@ -1,0 +1,59 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.experiments.harness import SweepPoint, SweepResult
+from repro.experiments.plot import ascii_chart
+
+
+def sample():
+    result = SweepResult(name="Fig X", parameter="d")
+    for i, label in enumerate(["a", "b", "c"]):
+        result.points.append(SweepPoint(label, "Greedy", 10 + 5 * i, 0.01 * (i + 1)))
+        result.points.append(SweepPoint(label, "Random", 5 + i, 0.02))
+    return result
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axes(self):
+        chart = ascii_chart(sample())
+        assert "o=Greedy" in chart
+        assert "x=Random" in chart
+        assert "x: 0=a; 1=b; 2=c" in chart
+        assert "Fig X — score" in chart
+
+    def test_extremes_on_axis(self):
+        chart = ascii_chart(sample())
+        assert "20 |" in chart  # max score
+        assert " 5 |" in chart or "5 |" in chart  # min score
+
+    def test_height_controls_rows(self):
+        tall = ascii_chart(sample(), height=20).count("\n")
+        short = ascii_chart(sample(), height=5).count("\n")
+        assert tall > short
+
+    def test_time_metric(self):
+        chart = ascii_chart(sample(), metric="time")
+        assert "ms" in chart
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="height"):
+            ascii_chart(sample(), height=1)
+        with pytest.raises(ValueError, match="unknown metric"):
+            ascii_chart(sample(), metric="latency")
+
+    def test_subset_of_approaches(self):
+        chart = ascii_chart(sample(), approaches=["Greedy"])
+        assert "Greedy" in chart
+        assert "Random" not in chart
+
+    def test_flat_series_handled(self):
+        result = SweepResult(name="flat", parameter="p")
+        for label in ["a", "b"]:
+            result.points.append(SweepPoint(label, "X", 7, 0.0))
+        chart = ascii_chart(result)
+        assert "7 |" in chart
+
+    def test_empty_sweep(self):
+        result = SweepResult(name="empty", parameter="p")
+        assert "empty sweep" in ascii_chart(result)

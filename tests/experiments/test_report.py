@@ -1,0 +1,50 @@
+"""Report formatting tests."""
+
+from repro.experiments.harness import SweepPoint, SweepResult
+from repro.experiments.report import format_series, format_sweep
+
+
+def sample_result():
+    result = SweepResult(name="Figure X", parameter="d")
+    result.points = [
+        SweepPoint("[1, 2]", "Greedy", 10, 0.0123),
+        SweepPoint("[1, 2]", "Random", 4, 0.0456),
+        SweepPoint("[2, 3]", "Greedy", 12, 0.0234),
+        SweepPoint("[2, 3]", "Random", 5, 0.0567),
+    ]
+    return result
+
+
+class TestFormatSweep:
+    def test_contains_both_tables(self):
+        text = format_sweep(sample_result())
+        assert "Figure X — assignment score" in text
+        assert "Figure X — running time (ms)" in text
+
+    def test_rows_and_columns(self):
+        text = format_sweep(sample_result())
+        lines = text.splitlines()
+        header = next(l for l in lines if l.startswith("d"))
+        assert "Greedy" in header and "Random" in header
+        assert any(l.startswith("[1, 2]") and "10" in l for l in lines)
+
+    def test_time_units(self):
+        text_s = format_sweep(sample_result(), time_unit="s")
+        assert "running time (s)" in text_s
+        assert "0.0" in text_s
+
+    def test_alignment_consistent(self):
+        text = format_sweep(sample_result())
+        score_lines = [
+            l for l in text.splitlines() if l.startswith("[") or l.startswith("d")
+        ]
+        # all header/data rows in a block share the same width
+        widths = {len(l.rstrip()) <= len(max(score_lines, key=len)) for l in score_lines}
+        assert widths == {True}
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("score", ["a", "b"], [1.0, 2.5])
+        assert "score" in text
+        assert "2.5" in text

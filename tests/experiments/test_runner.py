@@ -1,0 +1,74 @@
+"""Experiment runner tests (tiny scales so the suite stays fast)."""
+
+import pytest
+
+from repro.experiments.configs import REAL_SWEEPS, SYNTH_SWEEPS
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig2,
+    run_fig7,
+    run_table6,
+)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_present(self):
+        expected = {"table6", "fig2"} | {f"fig{i}" for i in range(3, 16)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_every_runner_has_docstring(self):
+        for runner in EXPERIMENTS.values():
+            assert runner.__doc__
+
+
+class TestSweepGrids:
+    def test_real_grid_matches_table4(self):
+        assert len(REAL_SWEEPS["start_time"]) == 5
+        assert str(REAL_SWEEPS["waiting_time"][2]) == "[3, 5]"
+        assert str(REAL_SWEEPS["max_distance"][0]) == "[0.02, 0.025]"
+
+    def test_synth_grid_matches_table5(self):
+        assert SYNTH_SWEEPS["skill_universe"] == [1100, 1300, 1500, 1700, 1900]
+        assert str(SYNTH_SWEEPS["dependency_size"][2]) == "[0, 70]"
+        assert SYNTH_SWEEPS["num_tasks"] == [2000, 3500, 5000, 6500, 8000]
+
+
+class TestRunners:
+    def test_table6_includes_dfs_and_matches_bounds(self):
+        result = run_table6(seed=3, scale=0.4)  # 8 workers x 16 tasks
+        scores = {p.approach: p.score for p in result.points}
+        assert scores["DFS"] >= scores["Greedy"]
+        assert scores["DFS"] >= scores["Closest"]
+        assert scores["DFS"] >= scores["Random"]
+        assert scores["Greedy"] >= (1 - 1 / 2.718281828) * scores["DFS"] - 1e-9
+
+    def test_fig2_sweeps_thresholds(self):
+        result = run_fig2(seed=3, scale=0.05, thresholds=[0.0, 0.1])
+        assert result.labels == ["0%", "10%"]
+        assert all(p.approach == "Game" for p in result.points)
+
+    def test_fig7_structure(self):
+        result = run_fig7(seed=3, scale=0.02, approaches=["Greedy", "Random"])
+        assert len(result.labels) == 5
+        assert result.approaches == ["Greedy", "Random"]
+        assert all(p.score >= 0 for p in result.points)
+
+    def test_synth_population_sweep_scales_values(self):
+        from repro.experiments.runner import run_fig10
+
+        result = run_fig10(seed=3, scale=0.01, approaches=["Random"])
+        # labels keep paper values even though the concrete population is
+        # scaled down
+        assert result.labels == ["2000", "3500", "5000", "6500", "8000"]
+
+    def test_real_sweep_structure(self):
+        from repro.experiments.runner import run_fig6
+
+        result = run_fig6(seed=3, scale=0.04, approaches=["Greedy", "Closest"])
+        assert len(result.labels) == 5
+        assert set(result.approaches) == {"Greedy", "Closest"}

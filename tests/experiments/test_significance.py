@@ -1,0 +1,102 @@
+"""Statistical-comparison tests."""
+
+import pytest
+
+from repro.experiments.significance import (
+    bootstrap_mean_ci,
+    compare_paired_scores,
+    sign_test,
+)
+
+
+class TestSignTest:
+    def test_all_ties(self):
+        assert sign_test(0, 0) == 1.0
+
+    def test_balanced_is_insignificant(self):
+        assert sign_test(5, 5) == pytest.approx(1.0)
+
+    def test_clean_sweep(self):
+        # 10 wins, 0 losses: p = 2 * (1/2)^10
+        assert sign_test(10, 0) == pytest.approx(2.0 / 1024.0)
+
+    def test_symmetry(self):
+        assert sign_test(7, 2) == sign_test(2, 7)
+
+    def test_known_value(self):
+        # 8 vs 1: 2 * (C(9,0)+C(9,1)) / 2^9 = 2*10/512
+        assert sign_test(8, 1) == pytest.approx(20.0 / 512.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test(-1, 2)
+
+
+class TestBootstrap:
+    def test_degenerate_distribution(self):
+        lo, hi = bootstrap_mean_ci([2.0] * 10)
+        assert lo == hi == 2.0
+
+    def test_interval_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = bootstrap_mean_ci(data, seed=1)
+        assert lo <= 3.0 <= hi
+
+    def test_deterministic_per_seed(self):
+        data = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(data, seed=3) == bootstrap_mean_ci(data, seed=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestComparePairedScores:
+    def test_clear_winner(self):
+        a = [10, 12, 11, 13, 12, 14, 11, 12]
+        b = [8, 9, 9, 10, 9, 10, 8, 9]
+        result = compare_paired_scores(a, b)
+        assert result.wins == 8
+        assert result.losses == 0
+        assert result.significant
+        assert result.mean_difference > 0
+        assert result.ci_low > 0
+
+    def test_no_difference(self):
+        a = [5, 6, 7]
+        result = compare_paired_scores(a, a)
+        assert result.ties == 3
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="must match"):
+            compare_paired_scores([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_paired_scores([], [])
+
+    def test_integration_greedy_vs_random(self):
+        """Across seeds, Greedy beats Random significantly on real data."""
+        from repro.algorithms.registry import make_allocator
+        from repro.datagen.meetup import MeetupLikeConfig, generate_meetup_like
+        from repro.simulation.platform import Platform
+
+        greedy_scores, random_scores = [], []
+        for seed in range(6):
+            instance = generate_meetup_like(
+                MeetupLikeConfig(seed=seed).scaled(0.25)
+            )
+            for name, bucket in (("Greedy", greedy_scores), ("Random", random_scores)):
+                report = Platform(
+                    instance, make_allocator(name, seed=1), batch_interval=2.0
+                ).run()
+                bucket.append(report.total_score)
+        result = compare_paired_scores(greedy_scores, random_scores)
+        assert result.wins >= result.losses
+        assert result.mean_difference >= 0

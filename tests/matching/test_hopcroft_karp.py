@@ -1,0 +1,93 @@
+"""Hopcroft-Karp tests (against a simple augmenting-path reference)."""
+
+import random
+
+import pytest
+
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+def reference_max_matching(adjacency, n_left):
+    """Classic Kuhn's algorithm as an independent size reference."""
+    match_r = {}
+
+    def try_assign(left, visited):
+        for right in adjacency.get(left, ()):
+            if right in visited:
+                continue
+            visited.add(right)
+            if right not in match_r or try_assign(match_r[right], visited):
+                match_r[right] = left
+                return True
+        return False
+
+    size = 0
+    for left in range(n_left):
+        if try_assign(left, set()):
+            size += 1
+    return size
+
+
+class TestBasics:
+    def test_empty(self):
+        left, right = hopcroft_karp({}, 0)
+        assert left == {} and right == {}
+
+    def test_single_edge(self):
+        left, right = hopcroft_karp({0: ["a"]}, 1)
+        assert left == {0: "a"}
+        assert right == {"a": 0}
+
+    def test_no_edges(self):
+        left, _ = hopcroft_karp({}, 3)
+        assert left == {}
+
+    def test_augmenting_path_needed(self):
+        # 0 and 1 both prefer "a"; maximum matching needs 0->a, 1->b... but 1
+        # only knows "a", so 0 must yield to "b".
+        adjacency = {0: ["a", "b"], 1: ["a"]}
+        left, right = hopcroft_karp(adjacency, 2)
+        assert len(left) == 2
+        assert left[1] == "a"
+        assert left[0] == "b"
+
+    def test_matching_is_consistent(self):
+        adjacency = {0: ["x", "y"], 1: ["y"], 2: ["x", "z"]}
+        left, right = hopcroft_karp(adjacency, 3)
+        for l, r in left.items():
+            assert right[r] == l
+        assert len(set(left.values())) == len(left)
+
+    def test_arbitrary_right_ids(self):
+        adjacency = {0: [("task", 5)], 1: [("task", 5), ("task", 6)]}
+        left, _ = hopcroft_karp(adjacency, 2)
+        assert len(left) == 2
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n_left = rng.randint(1, 12)
+        n_right = rng.randint(1, 12)
+        adjacency = {
+            i: [j for j in range(n_right) if rng.random() < 0.3]
+            for i in range(n_left)
+        }
+        left, right = hopcroft_karp(adjacency, n_left)
+        assert len(left) == reference_max_matching(adjacency, n_left)
+        for l, r in left.items():
+            assert r in adjacency[l]
+            assert right[r] == l
+
+    def test_complete_bipartite(self):
+        adjacency = {i: list(range(8)) for i in range(8)}
+        left, _ = hopcroft_karp(adjacency, 8)
+        assert len(left) == 8
+
+    def test_long_chain(self):
+        # left i connects to rights {i, i+1}: perfect matching exists.
+        n = 200
+        adjacency = {i: [i, i + 1] for i in range(n)}
+        left, _ = hopcroft_karp(adjacency, n)
+        assert len(left) == n

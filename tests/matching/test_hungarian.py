@@ -1,0 +1,117 @@
+"""Hungarian algorithm tests (against brute force on small matrices)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.matching.hungarian import INFEASIBLE, hungarian
+
+
+def brute_force(cost):
+    """Best (max-cardinality, then min-cost) assignment by enumeration."""
+    n, m = len(cost), len(cost[0])
+    best = (0, 0.0, [None] * n)
+    for columns in itertools.permutations(range(m), n):
+        total, size = 0.0, 0
+        assignment = []
+        for i, j in enumerate(columns):
+            if cost[i][j] == INFEASIBLE:
+                assignment.append(None)
+            else:
+                total += cost[i][j]
+                size += 1
+                assignment.append(j)
+        if size > best[0] or (size == best[0] and total < best[1]):
+            best = (size, total, assignment)
+    return best
+
+
+class TestBasics:
+    def test_empty(self):
+        assert hungarian([]) == ([], 0.0)
+
+    def test_single_cell(self):
+        assignment, total = hungarian([[3.5]])
+        assert assignment == [0]
+        assert total == 3.5
+
+    def test_identity_is_optimal(self):
+        cost = [[0.0, 9.0], [9.0, 0.0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_rectangular_picks_cheap_columns(self):
+        cost = [[5.0, 1.0, 9.0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [1]
+        assert total == 1.0
+
+    def test_negative_costs(self):
+        cost = [[-2.0, 0.0], [0.0, -3.0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1]
+        assert total == -5.0
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            hungarian([[1.0, 2.0], [1.0]])
+
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ValueError, match="rows <= cols"):
+            hungarian([[1.0], [2.0]])
+
+
+class TestInfeasibleEdges:
+    def test_fully_infeasible_row_unassigned(self):
+        cost = [[INFEASIBLE, INFEASIBLE], [1.0, 2.0]]
+        assignment, total = hungarian(cost)
+        assert assignment[0] is None
+        assert assignment[1] == 0
+        assert total == 1.0
+
+    def test_avoids_infeasible_when_possible(self):
+        cost = [[INFEASIBLE, 1.0], [1.0, INFEASIBLE]]
+        assignment, total = hungarian(cost)
+        assert assignment == [1, 0]
+        assert total == 2.0
+
+    def test_feasibility_forced_through_expensive_edge(self):
+        # Matching both rows requires taking the cost-100 edge.
+        cost = [[1.0, 100.0], [1.0, INFEASIBLE]]
+        assignment, total = hungarian(cost)
+        assert assignment == [1, 0]
+        assert total == 101.0
+
+    def test_maximum_cardinality_preferred_over_cheapness(self):
+        # Row 0 could take column 0 for free, but then row 1 is unmatched.
+        cost = [[0.0, 50.0], [1.0, INFEASIBLE]]
+        assignment, _ = hungarian(cost)
+        assert None not in assignment
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_matrices(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        m = rng.randint(n, 6)
+        cost = [
+            [
+                INFEASIBLE if rng.random() < 0.25 else round(rng.uniform(0, 10), 3)
+                for _ in range(m)
+            ]
+            for _ in range(n)
+        ]
+        assignment, total = hungarian(cost)
+        size = sum(1 for c in assignment if c is not None)
+        best_size, best_total, _ = brute_force(cost)
+        assert size == best_size
+        assert total == pytest.approx(best_total, abs=1e-9)
+        # and the reported assignment is consistent with its total
+        recomputed = sum(cost[i][j] for i, j in enumerate(assignment) if j is not None)
+        assert recomputed == pytest.approx(total)
+        used = [j for j in assignment if j is not None]
+        assert len(used) == len(set(used))

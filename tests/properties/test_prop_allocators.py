@@ -1,0 +1,103 @@
+"""Property-based tests over whole allocators on random instances."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.baselines import ClosestBaseline, RandomBaseline
+from repro.algorithms.dfs import DFSExact
+from repro.algorithms.game import DASCGame
+from repro.algorithms.greedy import DASCGreedy
+from repro.datagen.distributions import IntRange
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.simulation.platform import Platform, run_single_batch
+
+E_BOUND = 1.0 - 1.0 / 2.718281828459045
+
+
+def tiny_instance(seed, n_workers=6, n_tasks=9):
+    return generate_synthetic(
+        SyntheticConfig(
+            num_workers=n_workers,
+            num_tasks=n_tasks,
+            skill_universe=4,
+            worker_skills=IntRange(1, 2),
+            dependency_size=IntRange(0, 3),
+            seed=seed,
+        )
+    )
+
+
+ALL_ALLOCATORS = [
+    DASCGreedy(),
+    DASCGreedy(matching="hopcroft-karp"),
+    DASCGame(seed=1),
+    DASCGame(seed=1, threshold=0.05),
+    DASCGame(seed=1, init="greedy"),
+    DASCGame(seed=1, reassign_losers=True),
+    ClosestBaseline(),
+    RandomBaseline(seed=1),
+]
+
+
+class TestValidity:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_every_allocator_outputs_valid_assignments(self, seed):
+        instance = tiny_instance(seed)
+        for allocator in ALL_ALLOCATORS:
+            outcome = run_single_batch(instance, allocator)
+            violations = outcome.assignment.violations(
+                instance, now=instance.earliest_start
+            )
+            assert violations == [], f"{allocator!r}: {violations}"
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_platform_runs_stay_valid_per_batch(self, seed):
+        instance = tiny_instance(seed, n_workers=10, n_tasks=14)
+        report = Platform(instance, DASCGreedy(), batch_interval=5.0).run()
+        # every assignment recorded must reference existing ids and each
+        # task at most once
+        assert len(set(report.assignments.values())) <= instance.num_workers
+        for task_id, worker_id in report.assignments.items():
+            assert task_id in instance.task_ids
+            assert worker_id in instance.worker_ids
+
+
+class TestOptimalityRelations:
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_dfs_dominates_everyone(self, seed):
+        instance = tiny_instance(seed)
+        optimum = run_single_batch(instance, DFSExact()).score
+        for allocator in ALL_ALLOCATORS:
+            assert run_single_batch(instance, allocator).score <= optimum
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_respects_approximation_bound(self, seed):
+        instance = tiny_instance(seed)
+        optimum = run_single_batch(instance, DFSExact()).score
+        greedy = run_single_batch(instance, DASCGreedy()).score
+        assert greedy >= E_BOUND * optimum - 1e-9
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_reassign_losers_never_hurts(self, seed):
+        instance = tiny_instance(seed)
+        base = run_single_batch(instance, DASCGame(seed=2)).score
+        extended = run_single_batch(
+            instance, DASCGame(seed=2, reassign_losers=True)
+        ).score
+        assert extended >= base
+
+
+class TestDeterminism:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_allocators_are_repeatable(self, seed):
+        instance = tiny_instance(seed)
+        for allocator in ALL_ALLOCATORS:
+            first = run_single_batch(instance, allocator).assignment
+            second = run_single_batch(instance, allocator).assignment
+            assert first == second, repr(allocator)

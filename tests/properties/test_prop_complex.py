@@ -1,0 +1,96 @@
+"""Property-based tests for the complex-task module."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complex.model import ComplexTask, DependencyPattern, decompose, decompose_all
+from repro.complex.team import form_team
+from repro.core.dependency import DependencyGraph
+from repro.core.worker import Worker
+
+
+@st.composite
+def complex_tasks(draw):
+    n_skills = draw(st.integers(1, 6))
+    skills = tuple(draw(st.permutations(range(n_skills))))
+    return ComplexTask(
+        id=draw(st.integers(0, 100)),
+        location=(draw(st.floats(-2, 2)), draw(st.floats(-2, 2))),
+        start=draw(st.floats(0, 10)),
+        wait=draw(st.floats(1, 50)),
+        skills=skills,
+        subtask_duration=draw(st.floats(0, 3)),
+    )
+
+
+class TestDecompositionProperties:
+    @given(complex_tasks(), st.sampled_from(list(DependencyPattern)[:2]))
+    @settings(max_examples=80, deadline=None)
+    def test_decomposition_is_a_valid_dag(self, complex_task, pattern):
+        subtasks = decompose(complex_task, pattern)
+        graph = DependencyGraph.from_tasks(subtasks)  # raises on cycles
+        assert len(graph) == len(complex_task.skills)
+        # transitively closed
+        for tid in graph:
+            assert graph.direct_dependencies(tid) == graph.ancestors(tid)
+
+    @given(complex_tasks())
+    @settings(max_examples=60, deadline=None)
+    def test_chain_depth_equals_position(self, complex_task):
+        subtasks = decompose(complex_task, DependencyPattern.CHAIN)
+        graph = DependencyGraph.from_tasks(subtasks)
+        for position, sub in enumerate(subtasks):
+            assert graph.depth(sub.id) == position
+
+    @given(st.lists(complex_tasks(), min_size=0, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_decompose_all_ids_disjoint_and_dense(self, tasks):
+        # deduplicate complex ids first (generator may collide)
+        seen = set()
+        unique = []
+        for t in tasks:
+            if t.id not in seen:
+                seen.add(t.id)
+                unique.append(t)
+        subtasks, membership = decompose_all(unique)
+        ids = [t.id for t in subtasks]
+        assert ids == list(range(len(ids)))
+        covered = [tid for ids_ in membership.values() for tid in ids_]
+        assert sorted(covered) == ids
+
+
+class TestTeamProperties:
+    @given(complex_tasks(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_team_accounting_invariants(self, complex_task, seed):
+        rng = random.Random(seed)
+        workers = [
+            Worker(
+                id=wid,
+                location=(rng.uniform(-2, 2), rng.uniform(-2, 2)),
+                start=0.0,
+                wait=100.0,
+                velocity=rng.uniform(0.5, 3.0),
+                max_distance=rng.uniform(1.0, 10.0),
+                skills=frozenset(
+                    rng.sample(range(6), rng.randint(1, 3))
+                ),
+            )
+            for wid in range(8)
+        ]
+        team = form_team(complex_task, workers)
+        if team is None:
+            return
+        covered = {s for skills in team.members.values() for s in skills}
+        assert covered == set(complex_task.skills)
+        assert team.busy_hours >= team.productive_hours - 1e-9
+        assert team.idle_hours >= 0.0
+        assert team.completion >= team.service_start - 1e-9
+        # each skill covered exactly once
+        counts = {}
+        for skills in team.members.values():
+            for s in skills:
+                counts[s] = counts.get(s, 0) + 1
+        assert all(c == 1 for c in counts.values())

@@ -1,0 +1,89 @@
+"""Property-based tests for the dependency DAG."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import DependencyGraph
+from repro.datagen.dependencies import wire_dependencies
+from repro.datagen.distributions import IntRange
+
+
+@st.composite
+def random_dags(draw):
+    """DAGs built by only allowing edges from lower to higher ids."""
+    n = draw(st.integers(1, 25))
+    density = draw(st.floats(0.0, 0.5))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    direct = {
+        tid: {dep for dep in range(tid) if rng.random() < density}
+        for tid in range(n)
+    }
+    return direct
+
+
+class TestGraphProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_is_consistent(self, direct):
+        graph = DependencyGraph(direct)
+        position = {tid: i for i, tid in enumerate(graph.topological_order())}
+        for tid in graph:
+            for dep in graph.direct_dependencies(tid):
+                assert position[dep] < position[tid]
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_idempotent_and_superset(self, direct):
+        graph = DependencyGraph(direct)
+        for tid in graph:
+            ancestors = graph.ancestors(tid)
+            assert graph.direct_dependencies(tid) <= ancestors
+            # closure of the closure adds nothing
+            indirect = set()
+            for dep in ancestors:
+                indirect |= graph.ancestors(dep)
+            assert indirect <= ancestors
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_descendants_inverse_of_ancestors(self, direct):
+        graph = DependencyGraph(direct)
+        for tid in graph:
+            for anc in graph.ancestors(tid):
+                assert tid in graph.descendants(anc)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_ready_tasks_monotone(self, direct):
+        graph = DependencyGraph(direct)
+        ready_empty = set(graph.ready_tasks(set()))
+        roots = set(graph.roots())
+        assert ready_empty == roots
+        # assigning everything makes nothing ready (all assigned)
+        assert graph.ready_tasks(set(graph)) == []
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_assigning_in_topological_order_always_ready(self, direct):
+        graph = DependencyGraph(direct)
+        assigned = set()
+        for tid in graph.topological_order():
+            assert graph.satisfied(tid, assigned)
+            assigned.add(tid)
+
+
+class TestWireDependenciesProperties:
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 12),
+        st.integers(0, 5_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generated_sets_are_closed_and_acyclic(self, n, max_deps, seed):
+        rng = random.Random(seed)
+        deps = wire_dependencies(list(range(n)), IntRange(0, max_deps), rng)
+        graph = DependencyGraph(deps)  # raises on cycles
+        for tid in graph:
+            assert graph.direct_dependencies(tid) == graph.ancestors(tid)

@@ -1,0 +1,59 @@
+"""Cross-validation of the two independent exact solvers.
+
+``DFSExact`` branches over workers; ``ClosedSubsetExact`` enumerates
+dependency-closed task subsets.  Their search spaces share no code path,
+so agreement across random instances is strong evidence that both are
+correct — and since every heuristic is compared against DFS elsewhere,
+this check anchors the whole optimality test pyramid.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dfs import DFSExact
+from repro.algorithms.exact_sets import ClosedSubsetExact
+from repro.datagen.distributions import IntRange
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.simulation.platform import run_single_batch
+
+
+def tiny_instance(seed, n_workers, n_tasks):
+    return generate_synthetic(
+        SyntheticConfig(
+            num_workers=n_workers,
+            num_tasks=n_tasks,
+            skill_universe=4,
+            worker_skills=IntRange(1, 2),
+            dependency_size=IntRange(0, 3),
+            seed=seed,
+        )
+    )
+
+
+class TestExactSolverAgreement:
+    @given(st.integers(0, 1000), st.integers(2, 6), st.integers(2, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_both_exact_solvers_agree(self, seed, n_workers, n_tasks):
+        instance = tiny_instance(seed, n_workers, n_tasks)
+        dfs = run_single_batch(instance, DFSExact())
+        sets = run_single_batch(instance, ClosedSubsetExact())
+        assert dfs.score == sets.score
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_closed_subset_output_is_valid(self, seed):
+        instance = tiny_instance(seed, 5, 8)
+        outcome = run_single_batch(instance, ClosedSubsetExact())
+        assert outcome.assignment.is_valid(instance, now=instance.earliest_start)
+
+    def test_example1_optimum(self, example1):
+        outcome = run_single_batch(example1, ClosedSubsetExact())
+        assert outcome.score == 3
+
+    def test_subset_budget_guard(self, small_synthetic):
+        import pytest
+
+        from repro.core.exceptions import AllocationError
+
+        with pytest.raises(AllocationError, match="max_subsets"):
+            run_single_batch(small_synthetic, ClosedSubsetExact(max_subsets=3))

@@ -1,0 +1,137 @@
+"""Property-based tests for the game: Eq. 3 decomposition and potentials."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.utility import GameState
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datagen.dependencies import wire_dependencies
+from repro.datagen.distributions import IntRange
+
+
+def build_instance(n_tasks, dep_seed, max_deps):
+    """A spatially-trivial instance: utilities only depend on the DAG."""
+    skills = SkillUniverse(1)
+    rng = random.Random(dep_seed)
+    deps = wire_dependencies(list(range(n_tasks)), IntRange(0, max_deps), rng)
+    tasks = [
+        Task(id=tid, location=(0.0, 0.0), start=0.0, wait=100.0, skill=0,
+             dependencies=deps[tid])
+        for tid in range(n_tasks)
+    ]
+    workers = [
+        Worker(id=w, location=(0.0, 0.0), start=0.0, wait=100.0, velocity=1.0,
+               max_distance=10.0, skills=frozenset({0}))
+        for w in range(n_tasks + 2)
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+
+
+@st.composite
+def game_profiles(draw):
+    n_tasks = draw(st.integers(2, 8))
+    max_deps = draw(st.integers(0, 3))
+    dep_seed = draw(st.integers(0, 1000))
+    alpha = draw(st.floats(1.5, 20.0))
+    instance = build_instance(n_tasks, dep_seed, max_deps)
+    players = list(range(n_tasks + 2))
+    state = GameState(instance, instance.tasks, players, alpha=alpha)
+    for w in players:
+        choice = draw(st.one_of(st.none(), st.integers(0, n_tasks - 1)))
+        state.set_choice(w, choice)
+    return state, instance
+
+
+class TestDecomposition:
+    @given(game_profiles())
+    @settings(max_examples=80, deadline=None)
+    def test_total_utility_equals_valid_task_count(self, profile):
+        # Observation of Section IV-B: Sum(M) = sum_w U_w, where a task
+        # counts iff it and all its dependencies are chosen by someone.
+        state, instance = profile
+        graph = instance.dependency_graph
+        chosen = set(state.chosen_tasks())
+        valid = sum(
+            1
+            for t in chosen
+            if graph.direct_dependencies(t) <= chosen
+        )
+        assert abs(state.total_utility() - valid) < 1e-9
+
+    @given(game_profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_utilities_nonnegative_and_bounded(self, profile):
+        # A worker's utility is bounded by its task's maximum realisable
+        # value: 1 (self) plus a 1/(alpha*|D_l|) share from each dependent.
+        state, instance = profile
+        graph = instance.dependency_graph
+        for w in state.choice:
+            u = state.utility(w)
+            assert u >= 0.0
+            task = state.choice[w]
+            if task is None:
+                continue
+            bound = 1.0 + sum(
+                1.0 / (state.alpha * len(graph.direct_dependencies(dep)))
+                for dep in graph.direct_dependents(task)
+            )
+            assert u <= bound + 1e-9
+
+
+class TestExactPotential:
+    @given(game_profiles(), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_delta_u_equals_delta_phi_for_congestion_moves(self, profile, move_seed):
+        """Theorem IV.1 on moves that flip no assignment indicator."""
+        state, _ = profile
+        rng = random.Random(move_seed)
+        # candidates: tasks already chosen by >= 1 worker
+        crowded = [t for t, c in state.nw.items() if c >= 1]
+        movers = [
+            w
+            for w, t in state.choice.items()
+            if t is not None and state.nw[t] >= 2  # origin keeps a worker
+        ]
+        if not crowded or not movers:
+            return
+        worker = rng.choice(sorted(movers))
+        target = rng.choice(sorted(crowded))
+        if target == state.choice[worker]:
+            return
+        u_before = state.utility(worker)
+        phi_before = state.potential()
+        state.set_choice(worker, target)
+        u_after = state.utility(worker)
+        phi_after = state.potential()
+        assert abs((u_after - u_before) - (phi_after - phi_before)) < 1e-9
+
+    @given(game_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_paper_potential_nonpositive(self, profile):
+        state, _ = profile
+        assert state.potential_paper() <= 1e-12
+
+    @given(game_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_harmonic_potential_nonnegative(self, profile):
+        state, _ = profile
+        assert state.potential() >= -1e-12
+
+
+class TestBestResponseConvergence:
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_game_reaches_stable_profile(self, seed):
+        from repro.algorithms.game import DASCGame
+        from repro.simulation.platform import run_single_batch
+
+        instance = build_instance(6, seed, 2)
+        outcome = run_single_batch(instance, DASCGame(seed=seed, max_rounds=100))
+        # converged well before the cap and produced a valid assignment
+        assert outcome.stats["rounds"] < 100
+        assert outcome.assignment.is_valid(instance, now=0.0)

@@ -1,0 +1,90 @@
+"""Equivalence of the incremental cache with the batch checker.
+
+Any interleaving of insertions/removals must leave the incremental cache
+answering exactly like a `FeasibilityChecker` built from scratch over the
+surviving population at the query time.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import FeasibilityChecker
+from repro.core.incremental import IncrementalFeasibility
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+@st.composite
+def populations(draw):
+    rng = random.Random(draw(st.integers(0, 100_000)))
+    n_w = draw(st.integers(1, 12))
+    n_t = draw(st.integers(1, 12))
+    workers = [
+        Worker(
+            id=i,
+            location=(rng.uniform(0, 2), rng.uniform(0, 2)),
+            start=rng.uniform(0, 5),
+            wait=rng.uniform(1, 10),
+            velocity=rng.uniform(0.3, 2.0),
+            max_distance=rng.uniform(0.3, 3.0),
+            skills=frozenset(rng.sample(range(3), rng.randint(1, 2))),
+        )
+        for i in range(n_w)
+    ]
+    tasks = [
+        Task(
+            id=i,
+            location=(rng.uniform(0, 2), rng.uniform(0, 2)),
+            start=rng.uniform(0, 5),
+            wait=rng.uniform(1, 10),
+            skill=rng.randrange(3),
+        )
+        for i in range(n_t)
+    ]
+    removals_w = draw(st.sets(st.integers(0, n_w - 1)))
+    removals_t = draw(st.sets(st.integers(0, n_t - 1)))
+    now = draw(st.floats(0.0, 8.0))
+    return workers, tasks, removals_w, removals_t, now
+
+
+class TestIncrementalEquivalence:
+    @given(populations())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_fresh_checker_after_churn(self, population):
+        workers, tasks, removals_w, removals_t, now = population
+        cache = IncrementalFeasibility(cell_size=0.5)
+        for w in workers:
+            cache.add_worker(w)
+        for t in tasks:
+            cache.add_task(t)
+        for wid in removals_w:
+            cache.remove_worker(wid)
+        for tid in removals_t:
+            cache.remove_task(tid)
+
+        surviving_w = [w for w in workers if w.id not in removals_w]
+        surviving_t = [t for t in tasks if t.id not in removals_t]
+        reference = FeasibilityChecker(surviving_w, surviving_t, now=now)
+        for w in surviving_w:
+            assert cache.tasks_of(w.id, now) == reference.tasks_of(w.id)
+        for t in surviving_t:
+            assert cache.workers_of(t.id, now) == reference.workers_of(t.id)
+
+    @given(populations())
+    @settings(max_examples=30, deadline=None)
+    def test_insertion_order_is_irrelevant(self, population):
+        workers, tasks, _, _, now = population
+        a = IncrementalFeasibility(cell_size=0.5)
+        for w in workers:
+            a.add_worker(w)
+        for t in tasks:
+            a.add_task(t)
+        b = IncrementalFeasibility(cell_size=0.5)
+        for t in tasks:
+            b.add_task(t)
+        for w in workers:
+            b.add_worker(w)
+        for w in workers:
+            assert a.tasks_of(w.id, now) == b.tasks_of(w.id, now)

@@ -1,0 +1,113 @@
+"""Property-based tests for the matching substrate."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.hungarian import INFEASIBLE, hungarian
+
+
+@st.composite
+def cost_matrices(draw):
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(n, 5))
+    rows = [
+        [
+            draw(
+                st.one_of(
+                    st.just(INFEASIBLE),
+                    st.floats(-50, 50, allow_nan=False).map(lambda x: round(x, 3)),
+                )
+            )
+            for _ in range(m)
+        ]
+        for _ in range(n)
+    ]
+    return rows
+
+
+def brute_force_best(cost):
+    n, m = len(cost), len(cost[0])
+    best_size, best_total = 0, 0.0
+    for columns in itertools.permutations(range(m), n):
+        total, size = 0.0, 0
+        for i, j in enumerate(columns):
+            if cost[i][j] != INFEASIBLE:
+                total += cost[i][j]
+                size += 1
+        if size > best_size or (size == best_size and total < best_total):
+            best_size, best_total = size, total
+    return best_size, best_total
+
+
+class TestHungarianProperties:
+    @given(cost_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_cardinality_then_cost(self, cost):
+        assignment, total = hungarian(cost)
+        size = sum(1 for c in assignment if c is not None)
+        best_size, best_total = brute_force_best(cost)
+        assert size == best_size
+        assert abs(total - best_total) < 1e-6
+
+    @given(cost_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_is_injective_and_feasible(self, cost):
+        assignment, _ = hungarian(cost)
+        used = [j for j in assignment if j is not None]
+        assert len(used) == len(set(used))
+        for i, j in enumerate(assignment):
+            if j is not None:
+                assert cost[i][j] != INFEASIBLE
+
+
+@st.composite
+def bipartite_graphs(draw):
+    n_left = draw(st.integers(0, 8))
+    n_right = draw(st.integers(0, 8))
+    adjacency = {
+        i: sorted(
+            draw(st.sets(st.integers(0, max(0, n_right - 1)), max_size=n_right))
+        )
+        for i in range(n_left)
+    }
+    if n_right == 0:
+        adjacency = {i: [] for i in range(n_left)}
+    return adjacency, n_left
+
+
+def kuhn_size(adjacency, n_left):
+    match_r = {}
+
+    def try_assign(left, visited):
+        for right in adjacency.get(left, ()):
+            if right in visited:
+                continue
+            visited.add(right)
+            if right not in match_r or try_assign(match_r[right], visited):
+                match_r[right] = left
+                return True
+        return False
+
+    return sum(1 for left in range(n_left) if try_assign(left, set()))
+
+
+class TestHopcroftKarpProperties:
+    @given(bipartite_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_maximum_cardinality(self, graph):
+        adjacency, n_left = graph
+        left, right = hopcroft_karp(adjacency, n_left)
+        assert len(left) == kuhn_size(adjacency, n_left)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_matching_is_consistent(self, graph):
+        adjacency, n_left = graph
+        left, right = hopcroft_karp(adjacency, n_left)
+        for l, r in left.items():
+            assert r in adjacency[l]
+            assert right[r] == l
+        assert len(set(left.values())) == len(left)

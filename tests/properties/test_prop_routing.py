@@ -1,0 +1,94 @@
+"""Property-based tests for route planning and evaluation."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.routing.planner import plan_route
+from repro.spatial.distance import EuclideanDistance
+
+_METRIC = EuclideanDistance()
+
+coords = st.floats(-5.0, 5.0, allow_nan=False).map(lambda x: round(x, 3))
+
+
+@st.composite
+def routing_inputs(draw):
+    worker = Worker(
+        id=1,
+        location=(draw(coords), draw(coords)),
+        start=draw(st.floats(0.0, 3.0)),
+        wait=draw(st.floats(1.0, 30.0)),
+        velocity=draw(st.floats(0.2, 3.0)),
+        max_distance=draw(st.floats(0.5, 20.0)),
+        skills=frozenset({0, 1}),
+    )
+    n = draw(st.integers(0, 8))
+    tasks = [
+        Task(
+            id=i,
+            location=(draw(coords), draw(coords)),
+            start=draw(st.floats(0.0, 5.0)),
+            wait=draw(st.floats(0.5, 15.0)),
+            skill=draw(st.integers(0, 2)),
+            duration=draw(st.floats(0.0, 2.0)),
+        )
+        for i in range(n)
+    ]
+    now = draw(st.floats(0.0, 4.0))
+    return worker, tasks, now
+
+
+class TestRouteInvariants:
+    @given(routing_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_route_is_physically_consistent(self, inputs):
+        """Replaying the route independently confirms every claim."""
+        worker, tasks, now = inputs
+        route = plan_route(worker, tasks, now=now)
+        by_id = {t.id: t for t in tasks}
+        assert len(set(route.task_ids)) == len(route.task_ids)
+
+        clock = max(worker.start, now)
+        location = worker.location
+        used = 0.0
+        for task_id, claimed_service in zip(route.task_ids, route.service_times):
+            task = by_id[task_id]
+            assert task.skill in worker.skills
+            dist = _METRIC(location, task.location)
+            used += dist
+            travel = dist / worker.velocity if dist else 0.0
+            clock = max(clock + travel, task.start)
+            assert clock <= task.deadline + 1e-9
+            assert abs(clock - claimed_service) < 1e-9
+            clock += task.duration
+            location = task.location
+        assert used <= worker.max_distance + 1e-9
+        assert abs(used - route.total_distance) < 1e-9
+        assert abs(clock - route.completion) < 1e-9 or not route.task_ids
+
+    @given(routing_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_route_at_least_singleton_optimal(self, inputs):
+        """If any single task is feasible, the route is non-empty."""
+        worker, tasks, now = inputs
+        route = plan_route(worker, tasks, now=now)
+        singleton_possible = False
+        for task in tasks:
+            if task.skill not in worker.skills:
+                continue
+            dist = _METRIC(worker.location, task.location)
+            if dist > worker.max_distance:
+                continue
+            travel = dist / worker.velocity if dist else 0.0
+            depart = max(worker.start, now)
+            if depart > worker.deadline or task.start > worker.deadline:
+                continue
+            if max(depart + travel, task.start) <= task.deadline:
+                singleton_possible = True
+                break
+        if singleton_possible:
+            assert len(route) >= 1

@@ -1,0 +1,47 @@
+"""Property-based round-trip tests for JSON persistence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.datagen.distributions import IntRange
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.io.serialize import (
+    assignment_from_dict,
+    assignment_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+)
+
+
+class TestInstanceRoundTripProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 25), st.integers(1, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_any_synthetic_instance_round_trips(self, seed, n_w, n_t):
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=n_w,
+                num_tasks=n_t,
+                skill_universe=6,
+                worker_skills=IntRange(1, 3),
+                dependency_size=IntRange(0, 4),
+                seed=seed,
+            )
+        )
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.workers == instance.workers
+        assert restored.tasks == instance.tasks
+        assert restored.skills.size == instance.skills.size
+
+
+class TestAssignmentRoundTripProperties:
+    @given(
+        st.dictionaries(st.integers(0, 50), st.integers(0, 50), max_size=20).filter(
+            lambda d: len(set(d.values())) == len(d)
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_bijective_mapping_round_trips(self, mapping):
+        assignment = Assignment(mapping.items())
+        restored = assignment_from_dict(assignment_to_dict(assignment))
+        assert restored == assignment

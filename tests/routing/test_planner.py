@@ -1,0 +1,133 @@
+"""Route planner tests."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.routing.planner import EXACT_LIMIT, plan_route
+from repro.spatial.distance import EuclideanDistance
+
+
+def make_worker(**overrides):
+    base = dict(id=1, location=(0.0, 0.0), start=0.0, wait=100.0, velocity=1.0,
+                max_distance=100.0, skills=frozenset({0}))
+    base.update(overrides)
+    return Worker(**base)
+
+
+def make_task(tid, x, start=0.0, wait=100.0, duration=0.0, skill=0):
+    return Task(id=tid, location=(float(x), 0.0), start=start, wait=wait,
+                skill=skill, duration=duration)
+
+
+def brute_force_count(worker, tasks, metric=EuclideanDistance(), now=0.0):
+    """Max servable count by trying every order of every subset."""
+    best = 0
+    for r in range(len(tasks), 0, -1):
+        for subset in itertools.permutations(tasks, r):
+            clock = max(worker.start, now)
+            loc = worker.location
+            used = 0.0
+            ok = True
+            for task in subset:
+                dist = metric(loc, task.location)
+                used += dist
+                if used > worker.max_distance:
+                    ok = False
+                    break
+                clock = max(clock + (dist / worker.velocity if dist else 0.0), task.start)
+                if clock > task.deadline:
+                    ok = False
+                    break
+                clock += task.duration
+                loc = task.location
+            if ok:
+                best = max(best, r)
+        if best == r:
+            break
+    return best
+
+
+class TestPlanRoute:
+    def test_empty_candidates(self):
+        route = plan_route(make_worker(), [])
+        assert len(route) == 0
+
+    def test_single_task(self):
+        route = plan_route(make_worker(), [make_task(1, 3.0)])
+        assert route.task_ids == (1,)
+        assert route.service_times == (3.0,)
+        assert route.total_distance == pytest.approx(3.0)
+
+    def test_serves_line_of_tasks_in_order(self):
+        tasks = [make_task(i, float(i)) for i in (1, 2, 3)]
+        route = plan_route(make_worker(), tasks)
+        assert route.task_ids == (1, 2, 3)
+        assert route.total_distance == pytest.approx(3.0)
+
+    def test_skill_filtering(self):
+        tasks = [make_task(1, 1.0, skill=5)]
+        route = plan_route(make_worker(), tasks)
+        assert len(route) == 0
+
+    def test_deadline_forces_detour_order(self):
+        # serving near first (arrive 1, work 2, reach far at 12) misses the
+        # far deadline of 10; a count-2 route must go far-then-near.
+        far = make_task(1, 10.0, wait=10.0)
+        near = make_task(2, 1.0, wait=100.0, duration=2.0)
+        route = plan_route(make_worker(), [near, far])
+        assert set(route.task_ids) == {1, 2}
+        assert route.task_ids[0] == 1
+
+    def test_distance_budget_limits_route(self):
+        tasks = [make_task(i, float(i * 2)) for i in range(1, 6)]
+        route = plan_route(make_worker(max_distance=5.0), tasks)
+        assert route.total_distance <= 5.0
+        assert len(route) == 2  # positions 2 and 4
+
+    def test_duration_delays_subsequent_services(self):
+        tasks = [make_task(1, 1.0, duration=5.0), make_task(2, 2.0, wait=100.0)]
+        route = plan_route(make_worker(), tasks)
+        assert route.task_ids == (1, 2)
+        assert route.service_times[1] == pytest.approx(1.0 + 5.0 + 1.0)
+
+    def test_now_postpones_start(self):
+        route = plan_route(make_worker(), [make_task(1, 1.0, wait=5.0)], now=4.5)
+        assert len(route) == 0
+        route = plan_route(make_worker(), [make_task(1, 1.0, wait=5.0)], now=3.0)
+        assert len(route) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_dp_matches_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        worker = make_worker(max_distance=rng.uniform(3.0, 12.0))
+        tasks = [
+            make_task(
+                i,
+                rng.uniform(-5, 5),
+                start=rng.uniform(0, 3),
+                wait=rng.uniform(2, 12),
+                duration=rng.uniform(0, 1.5),
+            )
+            for i in range(6)
+        ]
+        route = plan_route(worker, tasks, now=0.0)
+        assert len(route) == brute_force_count(worker, tasks)
+
+    def test_greedy_path_used_beyond_limit(self):
+        tasks = [make_task(i, float(i)) for i in range(1, EXACT_LIMIT + 3)]
+        route = plan_route(make_worker(), tasks)
+        # greedy walks the line and picks everything
+        assert len(route) == EXACT_LIMIT + 2
+
+    def test_route_times_are_consistent(self):
+        tasks = [make_task(i, float(i), duration=0.5) for i in (1, 2, 3)]
+        route = plan_route(make_worker(), tasks)
+        for earlier, later in zip(route.service_times, route.service_times[1:]):
+            assert later > earlier
+        assert route.completion >= route.service_times[-1]

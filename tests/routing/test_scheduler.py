@@ -1,0 +1,107 @@
+"""Route scheduler and validity-accounting tests."""
+
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.routing.scheduler import RouteScheduler, evaluate_routes
+
+
+def build_instance(tasks, n_workers=2):
+    skills = SkillUniverse(1)
+    workers = [
+        Worker(id=i, location=(0.0, float(i)), start=0.0, wait=100.0, velocity=1.0,
+               max_distance=100.0, skills=frozenset({0}))
+        for i in range(1, n_workers + 1)
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+
+
+def make_task(tid, x, deps=(), start=0.0, wait=100.0):
+    return Task(id=tid, location=(float(x), 0.0), start=start, wait=wait,
+                skill=0, dependencies=frozenset(deps))
+
+
+class TestEvaluateRoutes:
+    def test_chain_served_in_order_is_valid(self):
+        instance = build_instance([make_task(1, 1), make_task(2, 2, deps={1})])
+        valid, invalid = evaluate_routes({1: 1.0, 2: 2.0}, instance)
+        assert valid == [1, 2]
+        assert invalid == []
+
+    def test_chain_served_out_of_order_is_invalid(self):
+        instance = build_instance([make_task(1, 1), make_task(2, 2, deps={1})])
+        valid, invalid = evaluate_routes({1: 3.0, 2: 2.0}, instance)
+        assert valid == [1]
+        assert invalid == [2]
+
+    def test_simultaneous_service_does_not_satisfy(self):
+        instance = build_instance([make_task(1, 1), make_task(2, 2, deps={1})])
+        valid, invalid = evaluate_routes({1: 2.0, 2: 2.0}, instance)
+        assert invalid == [2]
+
+    def test_invalid_predecessor_poisons_dependents(self):
+        instance = build_instance(
+            [make_task(1, 1), make_task(2, 2, deps={1}), make_task(3, 3, deps={1, 2})]
+        )
+        # task 1 not served at all
+        valid, invalid = evaluate_routes({2: 1.0, 3: 2.0}, instance)
+        assert valid == []
+        assert set(invalid) == {2, 3}
+
+    def test_previously_assigned_satisfies(self):
+        instance = build_instance([make_task(1, 1), make_task(2, 2, deps={1})])
+        valid, _ = evaluate_routes({2: 1.0}, instance, previously_assigned={1})
+        assert valid == [2]
+
+
+class TestRouteScheduler:
+    def test_routes_cover_tasks_exclusively(self):
+        tasks = [make_task(i, i) for i in range(1, 7)]
+        instance = build_instance(tasks, n_workers=2)
+        outcome = RouteScheduler(instance).schedule(instance.workers, tasks, now=0.0)
+        served_twice = len(outcome.served) != len(set(outcome.served))
+        assert not served_twice
+        assert outcome.tasks_served == 6
+
+    def test_score_counts_only_dependency_valid(self):
+        # two parallel chains; routing ignores deps while planning
+        tasks = [
+            make_task(1, 1), make_task(2, 2, deps={1}),
+            make_task(3, -1), make_task(4, -2, deps={3}),
+        ]
+        instance = build_instance(tasks, n_workers=2)
+        outcome = RouteScheduler(instance).schedule(instance.workers, tasks, now=0.0)
+        assert outcome.score <= outcome.tasks_served
+        assert set(outcome.valid_tasks) | set(outcome.invalid_tasks) == set(outcome.served)
+
+    def test_max_route_length_cap(self):
+        tasks = [make_task(i, i) for i in range(1, 7)]
+        instance = build_instance(tasks, n_workers=1)
+        outcome = RouteScheduler(instance, max_route_length=2).schedule(
+            instance.workers, tasks, now=0.0
+        )
+        assert all(len(route) <= 2 for route in outcome.routes)
+
+    def test_bad_cap_rejected(self):
+        instance = build_instance([make_task(1, 1)])
+        with pytest.raises(ValueError, match="max_route_length"):
+            RouteScheduler(instance, max_route_length=0)
+
+    def test_longest_route_claims_first(self):
+        # worker 1 sits on the task line, worker 2 far away: worker 1's
+        # route should claim the line
+        skills = SkillUniverse(1)
+        workers = [
+            Worker(id=1, location=(0.0, 0.0), start=0.0, wait=100.0, velocity=1.0,
+                   max_distance=100.0, skills=frozenset({0})),
+            Worker(id=2, location=(0.0, 50.0), start=0.0, wait=100.0, velocity=1.0,
+                   max_distance=100.0, skills=frozenset({0})),
+        ]
+        tasks = [make_task(i, i, wait=10.0) for i in range(1, 4)]
+        instance = ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+        outcome = RouteScheduler(instance).schedule(workers, tasks, now=0.0)
+        assert outcome.routes[0].worker_id == 1
+        assert len(outcome.routes[0]) == 3

@@ -1,0 +1,92 @@
+"""Event-trace tests."""
+
+import pytest
+
+from repro.algorithms.greedy import DASCGreedy
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.simulation.events import Event, EventKind, EventLog
+from repro.simulation.platform import Platform
+
+
+def traced_run(instance, interval=5.0):
+    log = EventLog()
+    report = Platform(instance, DASCGreedy(), batch_interval=interval,
+                      event_log=log).run()
+    return report, log
+
+
+def two_task_instance():
+    skills = SkillUniverse(1)
+    workers = [
+        Worker(id=1, location=(0.0, 0.0), start=0.0, wait=100.0, velocity=1.0,
+               max_distance=100.0, skills=frozenset({0})),
+    ]
+    tasks = [
+        Task(id=1, location=(1.0, 0.0), start=0.0, wait=50.0, skill=0, duration=2.0),
+        Task(id=2, location=(9.0, 0.0), start=0.0, wait=1.0, skill=0),  # expires
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+
+
+class TestEventLog:
+    def test_ordering_by_time(self):
+        log = EventLog()
+        log.record(Event(5.0, EventKind.COMPLETE, task_id=1, worker_id=1))
+        log.record(Event(1.0, EventKind.ASSIGN, task_id=1, worker_id=1))
+        times = [e.time for e in log]
+        assert times == sorted(times)
+
+    def test_of_kind_and_for_task(self):
+        log = EventLog()
+        log.record(Event(1.0, EventKind.ASSIGN, task_id=1, worker_id=1))
+        log.record(Event(2.0, EventKind.COMPLETE, task_id=1, worker_id=1))
+        log.record(Event(3.0, EventKind.EXPIRE, task_id=2))
+        assert len(log.of_kind(EventKind.ASSIGN)) == 1
+        assert [e.kind for e in log.for_task(1)] == [EventKind.ASSIGN, EventKind.COMPLETE]
+
+    def test_assignment_latencies(self):
+        log = EventLog()
+        log.record(Event(4.0, EventKind.ASSIGN, task_id=7, worker_id=1))
+        latencies = log.assignment_latencies({7: 1.5})
+        assert latencies == {7: 2.5}
+
+    def test_summary(self):
+        log = EventLog()
+        log.record(Event(1.0, EventKind.ASSIGN, task_id=1, worker_id=1))
+        text = log.summary()
+        assert "1 assigned" in text
+        assert "0 expired" in text
+
+
+class TestPlatformTracing:
+    def test_assign_complete_and_expire_recorded(self):
+        instance = two_task_instance()
+        report, log = traced_run(instance)
+        assigns = log.of_kind(EventKind.ASSIGN)
+        completes = log.of_kind(EventKind.COMPLETE)
+        expires = log.of_kind(EventKind.EXPIRE)
+        assert [e.task_id for e in assigns] == [1]
+        assert [e.task_id for e in completes] == [1]
+        assert [e.task_id for e in expires] == [2]
+        # completion = assign time + travel (1.0) + duration (2.0)
+        assert completes[0].time == pytest.approx(assigns[0].time + 3.0)
+
+    def test_trace_consistent_with_report(self, example1):
+        report, log = traced_run(example1, interval=10000.0)
+        assigned_in_log = {e.task_id for e in log.of_kind(EventKind.ASSIGN)}
+        assert assigned_in_log == set(report.assignments)
+        expired_in_log = {e.task_id for e in log.of_kind(EventKind.EXPIRE)}
+        assert expired_in_log == set(report.expired_tasks)
+
+    def test_no_log_by_default(self, example1):
+        report = Platform(example1, DASCGreedy(), batch_interval=10000.0).run()
+        assert report.total_score >= 3  # simply runs without a recorder
+
+    def test_expire_time_is_task_deadline(self):
+        instance = two_task_instance()
+        _, log = traced_run(instance)
+        expire = log.of_kind(EventKind.EXPIRE)[0]
+        assert expire.time == pytest.approx(instance.task(2).deadline)

@@ -1,0 +1,36 @@
+"""Simulation report tests."""
+
+from repro.simulation.stats import BatchRecord, SimulationReport
+
+
+class TestSimulationReport:
+    def make_report(self):
+        report = SimulationReport(allocator="Greedy")
+        report.batches = [
+            BatchRecord(index=0, time=5.0, available_workers=10, open_tasks=8,
+                        score=3, elapsed=0.01),
+            BatchRecord(index=1, time=10.0, available_workers=7, open_tasks=5,
+                        score=2, elapsed=0.02),
+        ]
+        report.assignments = {1: 10, 2: 11, 3: 12, 4: 13, 5: 14}
+        report.expired_tasks = [6, 7]
+        return report
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_score == 5
+        assert report.total_elapsed == 0.03
+        assert report.num_batches == 2
+
+    def test_summary_mentions_key_numbers(self):
+        text = self.make_report().summary()
+        assert "Greedy" in text
+        assert "score=5" in text
+        assert "2 batches" in text
+        assert "2 tasks expired" in text
+
+    def test_empty_report(self):
+        report = SimulationReport(allocator="X")
+        assert report.total_score == 0
+        assert report.total_elapsed == 0.0
+        assert report.num_batches == 0

@@ -1,0 +1,90 @@
+"""Grid index tests."""
+
+import random
+
+import pytest
+
+from repro.spatial.distance import euclidean
+from repro.spatial.index import GridIndex
+
+
+def _populated(n=100, seed=0, cell=0.1):
+    rng = random.Random(seed)
+    index = GridIndex(cell_size=cell)
+    points = {i: (rng.uniform(0, 1), rng.uniform(0, 1)) for i in range(n)}
+    index.insert_many(points.items())
+    return index, points
+
+
+class TestGridIndexBasics:
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(cell_size=0.0)
+
+    def test_len_contains_iter(self):
+        index, points = _populated(25)
+        assert len(index) == 25
+        assert 7 in index
+        assert sorted(index) == sorted(points)
+
+    def test_insert_moves_existing_key(self):
+        index = GridIndex(cell_size=1.0)
+        index.insert("a", (0.0, 0.0))
+        index.insert("a", (5.0, 5.0))
+        assert len(index) == 1
+        assert index.point_of("a") == (5.0, 5.0)
+        assert index.query_radius((0.0, 0.0), 0.5) == []
+
+    def test_remove(self):
+        index = GridIndex(cell_size=1.0)
+        index.insert("a", (0.0, 0.0))
+        index.remove("a")
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+
+class TestRadiusQueries:
+    def test_matches_brute_force(self):
+        index, points = _populated(150, seed=3)
+        rng = random.Random(9)
+        for _ in range(30):
+            center = (rng.uniform(0, 1), rng.uniform(0, 1))
+            radius = rng.uniform(0.0, 0.5)
+            expected = {k for k, p in points.items() if euclidean(p, center) <= radius}
+            assert set(index.query_radius(center, radius)) == expected
+
+    def test_negative_radius_is_empty(self):
+        index, _ = _populated(10)
+        assert index.query_radius((0.5, 0.5), -1.0) == []
+
+    def test_zero_radius_finds_exact_point(self):
+        index = GridIndex(cell_size=0.5)
+        index.insert(1, (0.25, 0.25))
+        assert index.query_radius((0.25, 0.25), 0.0) == [1]
+
+    def test_radius_spanning_all_cells(self):
+        index, points = _populated(50, cell=0.01)
+        assert set(index.query_radius((0.5, 0.5), 10.0)) == set(points)
+
+
+class TestNearest:
+    def test_empty_index_returns_none(self):
+        assert GridIndex(cell_size=1.0).nearest((0.0, 0.0)) is None
+
+    def test_matches_brute_force(self):
+        index, points = _populated(120, seed=5)
+        rng = random.Random(11)
+        for _ in range(25):
+            center = (rng.uniform(0, 1), rng.uniform(0, 1))
+            got = index.nearest(center)
+            best = min(points, key=lambda k: euclidean(points[k], center))
+            assert euclidean(points[got], center) == pytest.approx(
+                euclidean(points[best], center)
+            )
+
+    def test_max_radius_limits_search(self):
+        index = GridIndex(cell_size=0.1)
+        index.insert(1, (0.9, 0.9))
+        assert index.nearest((0.0, 0.0), max_radius=0.5) is None
+        assert index.nearest((0.0, 0.0), max_radius=2.0) == 1

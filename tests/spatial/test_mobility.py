@@ -1,0 +1,28 @@
+"""Travel-time tests."""
+
+import math
+
+import pytest
+
+from repro.spatial.distance import ManhattanDistance
+from repro.spatial.mobility import travel_time
+
+
+class TestTravelTime:
+    def test_simple_ratio(self):
+        assert travel_time((0.0, 0.0), (3.0, 4.0), velocity=2.5) == pytest.approx(2.0)
+
+    def test_zero_distance_costs_nothing(self):
+        assert travel_time((1.0, 1.0), (1.0, 1.0), velocity=0.0) == 0.0
+
+    def test_immobile_worker_far_task_is_unreachable(self):
+        assert travel_time((0.0, 0.0), (1.0, 0.0), velocity=0.0) == math.inf
+
+    def test_custom_metric(self):
+        t = travel_time((0.0, 0.0), (1.0, 1.0), velocity=1.0, metric=ManhattanDistance())
+        assert t == pytest.approx(2.0)
+
+    def test_faster_worker_arrives_sooner(self):
+        slow = travel_time((0.0, 0.0), (5.0, 0.0), velocity=1.0)
+        fast = travel_time((0.0, 0.0), (5.0, 0.0), velocity=2.0)
+        assert fast < slow

@@ -1,0 +1,48 @@
+"""Bounding box tests."""
+
+import random
+
+import pytest
+
+from repro.spatial.region import HONG_KONG_BOX, UNIT_HALF_BOX, BoundingBox
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 1.0)
+        assert box.width == 2.0
+        assert box.height == 1.0
+        assert box.center == (1.0, 0.5)
+        assert box.diagonal == pytest.approx(5.0**0.5)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_point_box_is_allowed(self):
+        box = BoundingBox(1.0, 1.0, 1.0, 1.0)
+        assert box.contains((1.0, 1.0))
+        assert box.width == 0.0
+
+    def test_contains_boundary(self):
+        box = UNIT_HALF_BOX
+        assert box.contains((0.0, 0.0))
+        assert box.contains((0.5, 0.5))
+        assert not box.contains((0.5001, 0.2))
+
+    def test_sample_stays_inside(self):
+        rng = random.Random(1)
+        box = HONG_KONG_BOX
+        for _ in range(200):
+            assert box.contains(box.sample(rng))
+
+    def test_clamp_projects_outside_points(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.clamp((-1.0, 0.5)) == (0.0, 0.5)
+        assert box.clamp((2.0, 2.0)) == (1.0, 1.0)
+        assert box.clamp((0.3, 0.4)) == (0.3, 0.4)
+
+    def test_paper_constants(self):
+        assert UNIT_HALF_BOX.width == pytest.approx(0.5)
+        assert HONG_KONG_BOX.min_x == pytest.approx(113.843)
+        assert HONG_KONG_BOX.max_y == pytest.approx(22.609)

@@ -1,0 +1,156 @@
+"""Road-network substrate tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.spatial.distance import euclidean
+from repro.spatial.region import BoundingBox
+from repro.spatial.roadnet import RoadNetwork, RoadNetworkDistance, grid_road_network
+
+UNIT = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+def square_network():
+    """A unit square: 4 corners, 4 sides (no diagonal)."""
+    nodes = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0), 3: (0.0, 1.0)}
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    return RoadNetwork(nodes, edges)
+
+
+class TestRoadNetwork:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            RoadNetwork({})
+
+    def test_edge_validation(self):
+        net = RoadNetwork({0: (0, 0), 1: (1, 0)})
+        with pytest.raises(ValueError, match="unknown node"):
+            net.add_edge(0, 7)
+        with pytest.raises(ValueError, match="negative edge weight"):
+            net.add_edge(0, 1, weight=-1.0)
+
+    def test_default_weight_is_length(self):
+        net = square_network()
+        assert net.node_distance(0, 1) == pytest.approx(1.0)
+
+    def test_shortest_path_goes_around(self):
+        net = square_network()
+        # opposite corners: no diagonal, so two sides
+        assert net.node_distance(0, 2) == pytest.approx(2.0)
+
+    def test_diagonal_shortcut_used(self):
+        net = square_network()
+        net.add_edge(0, 2, weight=math.sqrt(2.0))
+        assert net.node_distance(0, 2) == pytest.approx(math.sqrt(2.0))
+
+    def test_disconnected_is_infinite(self):
+        net = RoadNetwork({0: (0, 0), 1: (1, 0), 2: (5, 5)}, [(0, 1)])
+        assert net.node_distance(0, 2) == math.inf
+        assert not net.is_connected()
+
+    def test_nearest_node(self):
+        net = square_network()
+        assert net.nearest_node((0.1, 0.05)) == 0
+        assert net.nearest_node((0.9, 0.95)) == 2
+
+    def test_counts(self):
+        net = square_network()
+        assert net.num_nodes == 4
+        assert net.num_edges == 4
+
+    def test_cache_invalidated_by_new_edges(self):
+        net = square_network()
+        assert net.node_distance(0, 2) == pytest.approx(2.0)
+        net.add_edge(0, 2, weight=0.5)
+        assert net.node_distance(0, 2) == pytest.approx(0.5)
+
+
+class TestFreePointDistance:
+    def test_same_point_is_zero(self):
+        net = square_network()
+        assert net.distance((0.2, 0.1), (0.2, 0.1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_dominates_euclidean(self):
+        net = square_network()
+        rng = random.Random(5)
+        for _ in range(50):
+            a = (rng.random(), rng.random())
+            b = (rng.random(), rng.random())
+            assert net.distance(a, b) >= euclidean(a, b) - 1e-12
+
+    def test_symmetry(self):
+        net = square_network()
+        a, b = (0.1, 0.0), (0.9, 1.0)
+        assert net.distance(a, b) == pytest.approx(net.distance(b, a))
+
+    def test_metric_object(self):
+        metric = RoadNetworkDistance(square_network())
+        assert metric.name == "roadnet"
+        assert metric.euclidean_lower_bound
+        assert metric((0.0, 0.0), (1.0, 1.0)) == pytest.approx(2.0)
+
+
+class TestGridRoadNetwork:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError, match="2x2"):
+            grid_road_network(UNIT, 1, 5)
+        with pytest.raises(ValueError, match="detour_factor"):
+            grid_road_network(UNIT, 3, 3, detour_factor=0.5)
+
+    def test_plain_grid_structure(self):
+        net = grid_road_network(UNIT, 3, 4)
+        assert net.num_nodes == 12
+        # 3 rows x 3 horizontal + 2 x 4 vertical = 17
+        assert net.num_edges == 17
+        assert net.is_connected()
+
+    def test_manhattan_like_distances(self):
+        net = grid_road_network(UNIT, 2, 2)
+        # corner to corner of the unit square along streets = 2.0
+        assert net.distance((0.0, 0.0), (1.0, 1.0)) == pytest.approx(2.0)
+
+    def test_closures_keep_connectivity(self):
+        for seed in range(5):
+            net = grid_road_network(
+                UNIT, 5, 5, rng=random.Random(seed), closure_prob=0.6
+            )
+            assert net.is_connected()
+
+    def test_diagonals_shorten_paths(self):
+        plain = grid_road_network(UNIT, 4, 4)
+        with_diag = grid_road_network(
+            UNIT, 4, 4, rng=random.Random(1), diagonal_prob=1.0
+        )
+        assert with_diag.distance((0, 0), (1, 1)) < plain.distance((0, 0), (1, 1))
+
+    def test_detour_factor_scales(self):
+        slow = grid_road_network(UNIT, 2, 2, detour_factor=1.5)
+        assert slow.node_distance(0, 1) == pytest.approx(1.5)
+
+
+class TestAllocationUnderRoadNetwork:
+    def test_greedy_valid_with_roadnet_metric(self):
+        """Section II-A: the approaches work with other distance functions."""
+        from repro.core.constraints import FeasibilityChecker
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+        from repro.algorithms.greedy import DASCGreedy
+        from repro.simulation.platform import run_single_batch
+
+        instance = generate_synthetic(SyntheticConfig(seed=4).scaled(0.01))
+        net = grid_road_network(
+            BoundingBox(0.0, 0.0, 0.5, 0.5), 6, 6, rng=random.Random(2),
+            diagonal_prob=0.3,
+        )
+        instance.metric = RoadNetworkDistance(net)
+        outcome = run_single_batch(instance, DASCGreedy())
+        assert outcome.assignment.is_valid(instance, now=instance.earliest_start)
+        # index pruning and exhaustive checking agree under the new metric
+        fast = FeasibilityChecker(
+            instance.workers, instance.tasks, metric=instance.metric, use_index=True
+        )
+        slow = FeasibilityChecker(
+            instance.workers, instance.tasks, metric=instance.metric, use_index=False
+        )
+        assert sorted(fast.pairs()) == sorted(slow.pairs())

@@ -1,0 +1,81 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_approaches(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out
+        assert "fig15" in out
+        assert "Greedy" in out
+        assert "DFS" in out
+
+
+class TestGenerateAndSolve:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        code = main([
+            "generate", "synthetic", "--out", str(path),
+            "--workers", "15", "--tasks", "20", "--seed", "3",
+        ])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["workers"]) == 15
+        assert len(data["tasks"]) == 20
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_meetup(self, tmp_path):
+        path = tmp_path / "m.json"
+        assert main([
+            "generate", "meetup", "--out", str(path),
+            "--workers", "30", "--tasks", "12", "--seed", "3",
+        ]) == 0
+        data = json.loads(path.read_text())
+        assert len(data["workers"]) == 30
+
+    def test_solve_single_batch(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        main(["generate", "synthetic", "--out", str(path),
+              "--workers", "15", "--tasks", "20", "--seed", "3"])
+        assert main(["solve", str(path), "--approach", "Greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "Greedy: score=" in out
+
+    def test_solve_platform_mode(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        main(["generate", "synthetic", "--out", str(path),
+              "--workers", "15", "--tasks", "20", "--seed", "3"])
+        assert main(["solve", str(path), "--approach", "Random",
+                     "--batch-interval", "5"]) == 0
+        assert "score=" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_writes_table(self, tmp_path, capsys):
+        out_file = tmp_path / "t.txt"
+        assert main(["run", "table6", "--scale", "0.3", "--seed", "3",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "assignment score" in text
+        assert "DFS" in text
+        assert text in capsys.readouterr().out
+
+    def test_run_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_plot_and_csv(self, tmp_path, capsys):
+        csv_file = tmp_path / "t.csv"
+        assert main(["run", "table6", "--scale", "0.3", "--seed", "3",
+                     "--plot", "--csv", str(csv_file)]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        text = csv_file.read_text()
+        assert text.startswith("experiment,parameter,label,approach")
+        assert "DFS" in text

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs and prints its headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "instance :" in result.stdout
+        assert "busiest batch" in result.stdout
+
+    def test_house_repair(self):
+        result = run_example("house_repair.py")
+        assert result.returncode == 0, result.stderr
+        assert "Greedy: 2 subtasks staffed" in result.stdout
+        assert "Closest: 1 subtasks staffed" in result.stdout
+
+    def test_meetup_city_small_scale(self):
+        result = run_example("meetup_city.py", "0.1")
+        assert result.returncode == 0, result.stderr
+        assert "city     :" in result.stdout
+        for name in ("Greedy", "Game-5%", "Random"):
+            assert name in result.stdout
+
+    def test_dynamic_platform(self):
+        result = run_example("dynamic_platform.py")
+        assert result.returncode == 0, result.stderr
+        assert "batch-by-batch trace" in result.stdout
+        assert "remaining" in result.stdout
+        assert "fresh" in result.stdout
