@@ -7,20 +7,33 @@ regressions; they reproduce no specific paper figure.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
+from repro.algorithms.baselines import ClosestBaseline
 from repro.algorithms.game import DASCGame
 from repro.algorithms.greedy import DASCGreedy
 from repro.core.constraints import FeasibilityChecker
+from repro.datagen.distributions import Range
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.hungarian import INFEASIBLE, hungarian
+from repro.simulation.platform import Platform
 
 
 @pytest.fixture(scope="module")
 def batch_instance():
     return generate_synthetic(SyntheticConfig(seed=3).scaled(0.06))  # 300x300
+
+
+@pytest.fixture(scope="module")
+def feasibility_dominated_instance():
+    """Long presence windows keep entities in the pool across many batches,
+    so per-batch feasibility construction dominates the simulation — the
+    regime the allocation engine's incremental graph targets."""
+    config = replace(SyntheticConfig(seed=3), waiting_time=Range(25.0, 35.0))
+    return generate_synthetic(config.scaled(0.12))  # 600x600
 
 
 def test_micro_hungarian_40x60(benchmark):
@@ -82,6 +95,30 @@ def test_micro_game_single_batch(benchmark, batch_instance):
         0.0,
         frozenset(),
     )
+
+
+def _platform_run(instance, use_engine, batch_interval=1.0):
+    report = Platform(
+        instance,
+        ClosestBaseline(),
+        batch_interval=batch_interval,
+        use_engine=use_engine,
+    ).run()
+    return report.total_score
+
+
+def test_micro_platform_engine(benchmark, feasibility_dominated_instance):
+    """Multi-batch simulation on the engine path (incremental feasibility +
+    distance cache).  Feasibility-dominated: a cheap allocator over a small
+    batch interval, so per-batch graph construction is the bottleneck."""
+    benchmark(_platform_run, feasibility_dominated_instance, True)
+
+
+def test_micro_platform_legacy(benchmark, feasibility_dominated_instance):
+    """The same simulation on the legacy fresh-rebuild-per-batch path.
+    Compare against ``test_micro_platform_engine``: the engine path is the
+    same run bit for bit, just faster."""
+    benchmark(_platform_run, feasibility_dominated_instance, False)
 
 
 def test_micro_incremental_feasibility_churn(benchmark, batch_instance):

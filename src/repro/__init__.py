@@ -40,6 +40,7 @@ from repro.datagen import (
     generate_meetup_like,
     generate_synthetic,
 )
+from repro.engine import AllocationEngine, BatchContext
 from repro.experiments import run_experiment
 from repro.simulation import Platform, RejoinPolicy, SimulationReport, run_single_batch
 
@@ -47,7 +48,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "APPROACH_NAMES",
+    "AllocationEngine",
     "Assignment",
+    "BatchContext",
     "ClosestBaseline",
     "DASCGame",
     "DASCGreedy",

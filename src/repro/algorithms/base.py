@@ -6,13 +6,13 @@ import abc
 import math
 import time
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, Sequence
+from typing import AbstractSet, Dict, Optional, Sequence, Union
 
 from repro.core.assignment import Assignment
-from repro.core.constraints import FeasibilityChecker
 from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 
 
 @dataclass
@@ -22,7 +22,9 @@ class AllocationOutcome:
     Attributes:
         assignment: the valid per-batch assignment ``M_b``.
         elapsed: wall-clock seconds spent inside the allocator.
-        stats: algorithm-specific counters (rounds, nodes expanded, ...).
+        stats: algorithm-specific counters (rounds, nodes expanded, ...)
+            plus per-batch ``engine_*`` counters when the batch ran through
+            an :class:`~repro.engine.engine.AllocationEngine`.
     """
 
     assignment: Assignment
@@ -37,10 +39,12 @@ class AllocationOutcome:
 class BatchAllocator(abc.ABC):
     """Computes one batch assignment ``M_b`` (Section II-D).
 
-    Subclasses implement :meth:`_allocate`; the public :meth:`allocate`
-    wraps it with timing.  Allocators must return *valid* assignments:
-    every pair feasible, and every assigned task's dependencies satisfied by
-    this batch's picks plus ``previously_assigned``.
+    Subclasses implement :meth:`_allocate` against a
+    :class:`~repro.engine.context.BatchContext`; the public :meth:`allocate`
+    wraps it with timing and engine-stat collection.  Allocators must return
+    *valid* assignments: every pair feasible, and every assigned task's
+    dependencies satisfied by this batch's picks plus
+    ``context.previously_assigned``.
     """
 
     #: Display name used in experiment tables; overridden per configuration.
@@ -48,46 +52,53 @@ class BatchAllocator(abc.ABC):
 
     def allocate(
         self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
+        workers: Union[BatchContext, Sequence[Worker]],
+        tasks: Optional[Sequence[Task]] = None,
+        instance: Optional[ProblemInstance] = None,
         now: float = -math.inf,
         previously_assigned: AbstractSet[int] = frozenset(),
     ) -> AllocationOutcome:
         """Run the allocator on one batch.
 
-        Args:
-            workers: the free workers ``W_b``.
-            tasks: the open tasks ``T_b``.
-            instance: the enclosing problem (metric, dependency DAG, lookups).
-            now: the batch timestamp.
-            previously_assigned: task ids matched in earlier batches; they
-                satisfy dependency constraints (Definition 3's ``a_{t'}``).
+        Preferred form — an engine-built (or standalone) context::
+
+            outcome = allocator.allocate(context)
+
+        Compatibility shim — the historical five-argument signature, which
+        wraps its arguments in a standalone context whose feasibility oracle
+        is a fresh per-batch :class:`FeasibilityChecker`, exactly like the
+        pre-engine behaviour::
+
+            outcome = allocator.allocate(workers, tasks, instance, now,
+                                         previously_assigned)
         """
+        if isinstance(workers, BatchContext):
+            if tasks is not None or instance is not None:
+                raise TypeError(
+                    "allocate(context) takes no further arguments; pass either "
+                    "a BatchContext or the legacy (workers, tasks, instance, "
+                    "now, previously_assigned) tuple"
+                )
+            context = workers
+        else:
+            if tasks is None or instance is None:
+                raise TypeError(
+                    "legacy allocate() requires workers, tasks and instance"
+                )
+            context = BatchContext.standalone(
+                workers, tasks, instance, now, previously_assigned
+            )
         started = time.perf_counter()
-        outcome = self._allocate(list(workers), list(tasks), instance, now, previously_assigned)
+        outcome = self._allocate(context)
         outcome.elapsed = time.perf_counter() - started
+        engine_stats = context.engine_stats()
+        if engine_stats:
+            outcome.stats.update(engine_stats)
         return outcome
 
     @abc.abstractmethod
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
         """Compute the batch assignment (implemented by each approach)."""
-
-    @staticmethod
-    def _checker(
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-    ) -> FeasibilityChecker:
-        return FeasibilityChecker(workers, tasks, metric=instance.metric, now=now)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -10,13 +10,11 @@ invalid picks simply do not count (and the worker's capacity is wasted).
 from __future__ import annotations
 
 import random
-from typing import AbstractSet, List, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
-from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 
 
 class ClosestBaseline(BatchAllocator):
@@ -24,22 +22,17 @@ class ClosestBaseline(BatchAllocator):
 
     name = "Closest"
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks, instance = context.workers, context.tasks, context.instance
         if not workers or not tasks:
             return AllocationOutcome(Assignment())
-        checker = self._checker(workers, tasks, instance, now)
+        checker = context.checker
+        metric = context.metric  # the engine's distance cache when available
         pairs: List[Tuple[float, int, int]] = []
         for worker in workers:
             for task_id in checker.tasks_of(worker.id):
                 task = instance.task(task_id)
-                dist = instance.metric(worker.location, task.location)
+                dist = metric(worker.location, task.location)
                 pairs.append((dist, worker.id, task_id))
         pairs.sort()
         assignment = Assignment()
@@ -52,7 +45,7 @@ class ClosestBaseline(BatchAllocator):
             busy.add(worker_id)
             taken.add(task_id)
         valid = assignment.prune_dependency_violations(
-            instance.dependency_graph, previously_assigned
+            instance.dependency_graph, context.previously_assigned
         )
         return AllocationOutcome(valid, stats={"raw_pairs": float(assignment.score)})
 
@@ -65,18 +58,12 @@ class RandomBaseline(BatchAllocator):
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks = context.workers, context.tasks
         if not workers or not tasks:
             return AllocationOutcome(Assignment())
         rng = random.Random(self.seed)
-        checker = self._checker(workers, tasks, instance, now)
+        checker = context.checker
         assignment = Assignment()
         taken: Set[int] = set()
         worker_ids = sorted(w.id for w in workers)
@@ -89,6 +76,6 @@ class RandomBaseline(BatchAllocator):
             assignment.add(worker_id, task_id)
             taken.add(task_id)
         valid = assignment.prune_dependency_violations(
-            instance.dependency_graph, previously_assigned
+            context.instance.dependency_graph, context.previously_assigned
         )
         return AllocationOutcome(valid, stats={"raw_pairs": float(assignment.score)})

@@ -17,14 +17,12 @@ Exponential — intended for the small-scale comparison of Table VI only.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
 from repro.core.exceptions import AllocationError
-from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 from repro.matching.hopcroft_karp import hopcroft_karp
 
 
@@ -41,19 +39,13 @@ class DFSExact(BatchAllocator):
     def __init__(self, max_nodes: Optional[int] = 50_000_000) -> None:
         self.max_nodes = max_nodes
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks = context.workers, context.tasks
         if not workers or not tasks:
             return AllocationOutcome(Assignment())
-        checker = self._checker(workers, tasks, instance, now)
-        graph = instance.dependency_graph
-        prev = set(previously_assigned)
+        checker = context.checker
+        graph = context.instance.dependency_graph
+        prev = set(context.previously_assigned)
 
         # Completability preprocessing: a task with an ancestor that is not
         # previously assigned and cannot itself be completed (missing from
@@ -80,11 +72,10 @@ class DFSExact(BatchAllocator):
 
         # Warm start: the greedy solution is a valid incumbent, so the
         # branch-and-bound never explores subtrees that cannot beat it.
+        # Sharing the context reuses this batch's feasibility graph.
         from repro.algorithms.greedy import DASCGreedy
 
-        warm = DASCGreedy().allocate(
-            workers, tasks, instance, now, previously_assigned
-        ).assignment
+        warm = DASCGreedy().allocate(context).assignment
         best_assignment = warm
         best_score = warm.score
         picks: Dict[int, int] = {}

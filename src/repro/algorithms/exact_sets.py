@@ -17,14 +17,12 @@ them on random instances is strong evidence both are correct
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
 from repro.core.exceptions import AllocationError
-from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 from repro.matching.hopcroft_karp import hopcroft_karp
 
 
@@ -41,19 +39,13 @@ class ClosedSubsetExact(BatchAllocator):
     def __init__(self, max_subsets: Optional[int] = 2_000_000) -> None:
         self.max_subsets = max_subsets
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks = context.workers, context.tasks
         if not workers or not tasks:
             return AllocationOutcome(Assignment())
-        checker = self._checker(workers, tasks, instance, now)
-        graph = instance.dependency_graph
-        prev = set(previously_assigned)
+        checker = context.checker
+        graph = context.instance.dependency_graph
+        prev = set(context.previously_assigned)
         batch_ids = sorted(t.id for t in tasks)
         capacity = len(workers)
 

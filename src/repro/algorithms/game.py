@@ -17,15 +17,14 @@ Three named configurations from the evaluation:
 from __future__ import annotations
 
 import random
-from typing import AbstractSet, Dict, List, Literal, Optional, Sequence
+from typing import AbstractSet, Dict, List, Literal
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.algorithms.greedy import DASCGreedy
 from repro.algorithms.utility import GameState
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 
 InitMode = Literal["random", "greedy"]
 
@@ -77,18 +76,13 @@ class DASCGame(BatchAllocator):
 
     # -- main entry ---------------------------------------------------------------------
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks, instance = context.workers, context.tasks, context.instance
+        previously_assigned = context.previously_assigned
         if not workers or not tasks:
             return AllocationOutcome(Assignment())
         rng = random.Random(self.seed)
-        checker = self._checker(workers, tasks, instance, now)
+        checker = context.checker
         strategies: Dict[int, List[int]] = {
             w.id: checker.tasks_of(w.id) for w in workers if checker.tasks_of(w.id)
         }
@@ -98,7 +92,7 @@ class DASCGame(BatchAllocator):
         state = GameState(
             instance, tasks, strategies, previously_assigned, alpha=self.alpha
         )
-        self._initialise(state, strategies, workers, tasks, instance, now, previously_assigned, rng)
+        self._initialise(state, strategies, context, rng)
         rounds = self._best_response(state, strategies)
         assignment = self._extract(state, previously_assigned, instance, rng)
         if self.reassign_losers:
@@ -113,16 +107,14 @@ class DASCGame(BatchAllocator):
         self,
         state: GameState,
         strategies: Dict[int, List[int]],
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
+        context: BatchContext,
         rng: random.Random,
     ) -> None:
         seeded: Dict[int, int] = {}
         if self.init == "greedy":
-            outcome = DASCGreedy().allocate(workers, tasks, instance, now, previously_assigned)
+            # Sharing the context lets the warm start reuse this batch's
+            # feasibility graph instead of rebuilding it.
+            outcome = DASCGreedy().allocate(context)
             seeded = {w: t for w, t in outcome.assignment.pairs()}
         elif self.init != "random":
             raise ValueError(f"unknown init mode {self.init!r}")

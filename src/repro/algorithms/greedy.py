@@ -13,13 +13,11 @@ Because ``Sum(M)`` is monotone and submodular over committed sets
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, List, Sequence, Set
+from typing import Dict, Set
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
-from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 from repro.matching.bipartite import Method, match_task_set
 
 
@@ -38,21 +36,15 @@ class DASCGreedy(BatchAllocator):
     def __init__(self, matching: Method = "hungarian") -> None:
         self.matching = matching
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        workers, tasks, instance = context.workers, context.tasks, context.instance
         assignment = Assignment()
         if not workers or not tasks:
             return AllocationOutcome(assignment)
-        checker = self._checker(workers, tasks, instance, now)
+        checker = context.checker
         graph = instance.dependency_graph
         batch_task_ids = {t.id for t in tasks}
-        assigned: Set[int] = set(previously_assigned)
+        assigned: Set[int] = set(context.previously_assigned)
 
         # Associative task sets, pruned of already-assigned ancestors.  A set
         # whose ancestor is neither in this batch nor already assigned can

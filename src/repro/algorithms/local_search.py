@@ -18,14 +18,13 @@ of each base approach.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, List, Sequence, Set
+from typing import AbstractSet, Set
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
 from repro.core.constraints import FeasibilityChecker
 from repro.core.instance import ProblemInstance
-from repro.core.task import Task
-from repro.core.worker import Worker
+from repro.engine.context import BatchContext, ReadinessView
 
 
 class LocalSearchImprover(BatchAllocator):
@@ -43,24 +42,19 @@ class LocalSearchImprover(BatchAllocator):
         self.max_passes = max_passes
         self.name = f"{base.name}+LS"
 
-    def _allocate(
-        self,
-        workers: Sequence[Worker],
-        tasks: Sequence[Task],
-        instance: ProblemInstance,
-        now: float,
-        previously_assigned: AbstractSet[int],
-    ) -> AllocationOutcome:
-        outcome = self.base.allocate(workers, tasks, instance, now, previously_assigned)
-        if not workers or not tasks:
+    def _allocate(self, context: BatchContext) -> AllocationOutcome:
+        # Sharing the context lets the base allocator and the polish passes
+        # use one feasibility graph for the whole batch.
+        outcome = self.base.allocate(context)
+        if not context.workers or not context.tasks:
             return outcome
-        checker = self._checker(workers, tasks, instance, now)
+        checker = context.checker
         assignment = outcome.assignment.copy()
         improved = improve_assignment(
             assignment,
             checker,
-            instance,
-            previously_assigned,
+            context.instance,
+            context.previously_assigned,
             max_passes=self.max_passes,
         )
         stats = dict(outcome.stats)
@@ -96,10 +90,6 @@ def improve_assignment(
     return assignment
 
 
-def _ready(graph, task_id: int, assigned: Set[int]) -> bool:
-    return task_id not in graph or graph.satisfied(task_id, assigned)
-
-
 def _fill_pass(
     assignment: Assignment,
     checker: FeasibilityChecker,
@@ -112,17 +102,19 @@ def _fill_pass(
     progress = True
     while progress:
         progress = False
-        assigned = set(assignment.assigned_tasks()) | set(previously_assigned)
+        readiness = ReadinessView(
+            graph, previously_assigned, assignment.assigned_tasks()
+        )
         idle = sorted(all_workers - assignment.assigned_workers())
         open_tasks = set(all_tasks) - assignment.assigned_tasks()
         for worker_id in idle:
             for task_id in checker.tasks_of(worker_id):
                 if task_id not in open_tasks:
                     continue
-                if not _ready(graph, task_id, assigned):
+                if not readiness.ready(task_id):
                     continue
                 assignment.add(worker_id, task_id)
-                assigned.add(task_id)
+                readiness.mark(task_id)
                 open_tasks.discard(task_id)
                 progress = True
                 changed = True
@@ -142,11 +134,13 @@ def _relocate_pass(
     progress = True
     while progress:
         progress = False
-        assigned = set(assignment.assigned_tasks()) | set(previously_assigned)
+        readiness = ReadinessView(
+            graph, previously_assigned, assignment.assigned_tasks()
+        )
         idle = sorted(all_workers - assignment.assigned_workers())
         open_tasks = set(all_tasks) - assignment.assigned_tasks()
         open_ready = [
-            t for t in sorted(open_tasks) if _ready(graph, t, assigned)
+            t for t in sorted(open_tasks) if readiness.ready(t)
         ]
         if not idle or not open_ready:
             break

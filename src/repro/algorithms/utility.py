@@ -38,9 +38,16 @@ from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 
 
+# Memoised prefix of the harmonic numbers; grown by left-to-right running
+# sum so each H(n) is the same float the original per-call summation gave.
+_HARMONIC: List[float] = [0.0]
+
+
 def harmonic(n: int) -> float:
     """The n-th harmonic number ``H(n) = 1 + 1/2 + ... + 1/n``."""
-    return sum(1.0 / i for i in range(1, n + 1))
+    while len(_HARMONIC) <= n:
+        _HARMONIC.append(_HARMONIC[-1] + 1.0 / len(_HARMONIC))
+    return _HARMONIC[n]
 
 
 class GameState:

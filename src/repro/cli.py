@@ -57,6 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--approach", default="Greedy", help=f"one of {APPROACH_NAMES + ['DFS']}")
     solve.add_argument("--seed", type=int, default=7)
     solve.add_argument("--batch-interval", type=float, default=None, help="run the dynamic platform with this interval instead of a single batch")
+    solve.add_argument("--no-engine", action="store_true", help="disable the shared allocation engine (fresh feasibility rebuild per batch)")
+    solve.add_argument("--engine-stats", action="store_true", help="print the engine's counters after a platform run")
 
     return parser
 
@@ -128,8 +130,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     allocator = make_allocator(args.approach, seed=args.seed)
     if args.batch_interval:
-        report = Platform(instance, allocator, batch_interval=args.batch_interval).run()
+        report = Platform(
+            instance,
+            allocator,
+            batch_interval=args.batch_interval,
+            use_engine=not args.no_engine,
+        ).run()
         print(report.summary())
+        if args.engine_stats:
+            if report.engine_stats:
+                print("engine counters:")
+                for key, value in sorted(report.engine_stats.items()):
+                    print(f"  {key}: {value:.0f}")
+            else:
+                print("engine counters: none (engine disabled)")
     else:
         outcome = run_single_batch(instance, allocator)
         print(

@@ -38,6 +38,7 @@ def deadline_ok(
     task: Task,
     metric: Optional[DistanceMetric] = None,
     now: float = -math.inf,
+    dist: Optional[float] = None,
 ) -> bool:
     """Deadline constraint of Definition 3.
 
@@ -46,13 +47,18 @@ def deadline_ok(
     (2) travelling from ``l_w`` at the earliest departure reaches ``l_t`` no
     later than ``s_t + w_t``.  With ``now = -inf`` this is exactly the
     paper's ``w_t - max(s_w - s_t, 0) - ct_w(l_w, l_t) >= 0``.
+
+    ``dist`` may carry a precomputed ``metric(l_w, l_t)`` so callers that
+    already evaluated the metric (range check, distance cache) do not pay
+    for it twice.
     """
     if task.start > worker.deadline or worker.start > task.deadline:
         return False
     depart = latest_departure(worker, task, now)
     if depart > task.deadline or depart > worker.deadline:
         return False
-    dist = (metric or _EUCLIDEAN)(worker.location, task.location)
+    if dist is None:
+        dist = (metric or _EUCLIDEAN)(worker.location, task.location)
     if dist == 0.0:
         return True
     if worker.velocity <= 0.0:
@@ -60,9 +66,16 @@ def deadline_ok(
     return depart + dist / worker.velocity <= task.deadline
 
 
-def within_range(worker: Worker, task: Task, metric: Optional[DistanceMetric] = None) -> bool:
+def within_range(
+    worker: Worker,
+    task: Task,
+    metric: Optional[DistanceMetric] = None,
+    dist: Optional[float] = None,
+) -> bool:
     """Maximum-moving-distance constraint: ``dist(l_w, l_t) <= d_w``."""
-    return (metric or _EUCLIDEAN)(worker.location, task.location) <= worker.max_distance
+    if dist is None:
+        dist = (metric or _EUCLIDEAN)(worker.location, task.location)
+    return dist <= worker.max_distance
 
 
 def pair_feasible(
@@ -77,10 +90,24 @@ def pair_feasible(
     assignment, not of a pair, and are checked by
     :class:`repro.core.assignment.Assignment`.
     """
-    return (
-        skill_ok(worker, task)
-        and within_range(worker, task, metric)
-        and deadline_ok(worker, task, metric, now)
+    if not skill_ok(worker, task):
+        return False
+    dist = (metric or _EUCLIDEAN)(worker.location, task.location)
+    return within_range(worker, task, dist=dist) and deadline_ok(
+        worker, task, now=now, dist=dist
+    )
+
+
+def reach_radius(worker: Worker, latest_deadline: float, now: float = -math.inf) -> float:
+    """The pruning radius outside which no task can be feasible for ``worker``.
+
+    ``min(d_w, v_w * (latest task deadline - earliest departure))`` — the
+    Euclidean disc of this radius over-approximates the true reachable
+    region for any metric with ``euclidean_lower_bound``.
+    """
+    return min(
+        worker.max_distance,
+        worker.velocity * max(0.0, latest_deadline - max(worker.start, now)),
     )
 
 
@@ -121,6 +148,9 @@ class FeasibilityChecker:
         self._tasks_of, self._workers_of = (
             self._build_with_index() if use_grid else self._build_exhaustive()
         )
+        self._task_sets = {
+            wid: frozenset(tids) for wid, tids in self._tasks_of.items()
+        }
 
     # -- public API --------------------------------------------------------------
 
@@ -133,7 +163,8 @@ class FeasibilityChecker:
         return self._workers_of.get(task_id, [])
 
     def feasible(self, worker_id: int, task_id: int) -> bool:
-        return task_id in set(self._tasks_of.get(worker_id, ()))
+        row = self._task_sets.get(worker_id)
+        return row is not None and task_id in row
 
     def pairs(self) -> Iterable[Tuple[int, int]]:
         """All feasible ``(worker_id, task_id)`` pairs."""
@@ -156,16 +187,19 @@ class FeasibilityChecker:
                 if pair_feasible(worker, task, self.metric, self.now):
                     tasks_of[worker.id].append(task.id)
                     workers_of[task.id].append(worker.id)
+        # Canonical (sorted) rows: both build paths and the incremental
+        # engine agree exactly, so downstream tie-breaking is build-agnostic.
+        for wid in tasks_of:
+            tasks_of[wid].sort()
+        for tid in workers_of:
+            workers_of[tid].sort()
         return tasks_of, workers_of
 
     def _build_with_index(
         self,
     ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
         latest_deadline = max(t.deadline for t in self.tasks)
-        spans = [
-            min(w.max_distance, w.velocity * max(0.0, latest_deadline - max(w.start, self.now)))
-            for w in self.workers
-        ]
+        spans = [reach_radius(w, latest_deadline, self.now) for w in self.workers]
         positive = sorted(s for s in spans if s > 0.0)
         cell = positive[len(positive) // 2] if positive else 1.0
         # Keep the cell a sane fraction of the data extent: degenerate spans

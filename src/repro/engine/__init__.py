@@ -1,0 +1,20 @@
+"""Engine layer: shared per-batch allocation state with incremental reuse.
+
+The historic design rebuilt a :class:`FeasibilityChecker` from scratch
+inside every allocator call; this package hoists that work into an
+:class:`AllocationEngine` owned by the platform, which maintains the
+feasible-pair graph *incrementally* across batches, memoizes distances, and
+exposes everything a batch needs through a :class:`BatchContext`.
+"""
+
+from repro.engine.context import BatchContext, ReadinessView
+from repro.engine.counters import EngineCounters
+from repro.engine.engine import AllocationEngine, BatchFeasibilityView
+
+__all__ = [
+    "AllocationEngine",
+    "BatchContext",
+    "BatchFeasibilityView",
+    "EngineCounters",
+    "ReadinessView",
+]

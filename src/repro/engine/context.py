@@ -1,0 +1,187 @@
+"""The per-batch allocation context.
+
+A :class:`BatchContext` is everything an allocator needs to compute one
+batch assignment ``M_b``: the batch populations, the enclosing instance,
+the batch timestamp, the cross-batch dependency credit
+(``previously_assigned``), a feasible-pair oracle and a (possibly cached)
+distance metric.  The :class:`~repro.simulation.platform.Platform` builds
+one per batch through the :class:`~repro.engine.engine.AllocationEngine`,
+which reuses feasibility work across batches; standalone contexts built by
+the compatibility shim fall back to a fresh
+:class:`~repro.core.constraints.FeasibilityChecker` and behave exactly like
+the historical per-allocator rebuild.
+
+Both feasibility paths expose the same oracle API (``tasks_of`` /
+``workers_of`` / ``feasible`` / ``pairs`` / ``pair_count`` plus ``workers``
+/ ``tasks`` / ``metric`` / ``now`` attributes) with canonically sorted
+rows, so allocator behaviour is bit-identical between them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+)
+
+from repro.core.constraints import FeasibilityChecker
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.engine.counters import EngineCounters
+from repro.spatial.distance import DistanceMetric
+
+
+class ReadinessView:
+    """Dependency readiness: ``previously_assigned`` plus intra-batch picks.
+
+    Definition 3's dependency constraint counts a task as startable once
+    every member of ``D_t`` is assigned in an earlier batch *or earlier in
+    the current one*.  Allocators grow the intra-batch part with
+    :meth:`mark` as they commit picks.
+    """
+
+    def __init__(
+        self,
+        graph,
+        previously_assigned: AbstractSet[int] = frozenset(),
+        picks: Iterable[int] = (),
+    ) -> None:
+        self._graph = graph
+        self._assigned = set(previously_assigned)
+        self._assigned.update(picks)
+
+    def mark(self, task_id: int) -> None:
+        """Record an intra-batch pick."""
+        self._assigned.add(task_id)
+
+    def extend(self, task_ids: Iterable[int]) -> None:
+        self._assigned.update(task_ids)
+
+    def ready(self, task_id: int) -> bool:
+        """Whether every dependency of ``task_id`` is already assigned."""
+        return task_id not in self._graph or self._graph.satisfied(
+            task_id, self._assigned
+        )
+
+    @property
+    def assigned_ids(self) -> AbstractSet[int]:
+        """Live view of the assigned set (previous batches + picks)."""
+        return self._assigned
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._assigned
+
+
+class BatchContext:
+    """One batch's worth of allocation state.
+
+    Attributes:
+        workers: the free workers ``W_b`` (order preserved).
+        tasks: the open tasks ``T_b``.
+        instance: the enclosing problem instance.
+        now: the batch timestamp.
+        previously_assigned: task ids matched in earlier batches.
+        metric: the distance function — the engine's memoizing wrapper when
+            engine-built, ``instance.metric`` otherwise.  Values are
+            bit-identical either way.
+        counters: the engine's cumulative counters (None for standalone
+            contexts).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float = -math.inf,
+        previously_assigned: AbstractSet[int] = frozenset(),
+        *,
+        metric: Optional[DistanceMetric] = None,
+        counters: Optional[EngineCounters] = None,
+        checker_factory: Optional[Callable[[], object]] = None,
+        stats_snapshot: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.workers = list(workers)
+        self.tasks = list(tasks)
+        self.instance = instance
+        self.now = now
+        self.previously_assigned = frozenset(previously_assigned)
+        self.metric = metric if metric is not None else instance.metric
+        self.counters = counters
+        # The engine snapshots its counters *before* the batch's graph
+        # update, so per-batch deltas include that update's work.
+        if stats_snapshot is not None:
+            self._stats_snapshot = stats_snapshot
+        elif counters is not None:
+            self._stats_snapshot = counters.as_dict()
+        else:
+            self._stats_snapshot = None
+        self._checker_factory = checker_factory
+        self._checker = None
+
+    @classmethod
+    def standalone(
+        cls,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        instance: ProblemInstance,
+        now: float = -math.inf,
+        previously_assigned: AbstractSet[int] = frozenset(),
+    ) -> "BatchContext":
+        """A self-contained context (the compatibility-shim path)."""
+        return cls(workers, tasks, instance, now, previously_assigned)
+
+    # -- feasibility -------------------------------------------------------------
+
+    @property
+    def checker(self):
+        """The batch's feasible-pair oracle, built lazily on first use.
+
+        Engine contexts return an incremental view; standalone contexts
+        build a fresh :class:`FeasibilityChecker` exactly like the historic
+        per-allocator rebuild did.
+        """
+        if self._checker is None:
+            if self._checker_factory is not None:
+                self._checker = self._checker_factory()
+            else:
+                self._checker = FeasibilityChecker(
+                    self.workers, self.tasks, metric=self.metric, now=self.now
+                )
+        return self._checker
+
+    # -- dependencies ------------------------------------------------------------
+
+    def readiness(self, picks: Iterable[int] = ()) -> ReadinessView:
+        """A fresh dependency-readiness view seeded with earlier batches."""
+        return ReadinessView(
+            self.instance.dependency_graph, self.previously_assigned, picks
+        )
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def engine_stats(self) -> Dict[str, float]:
+        """Engine counter deltas since this context was created.
+
+        Empty for standalone contexts, so the legacy path's outcome stats
+        are unchanged.
+        """
+        if self.counters is None:
+            return {}
+        hits = getattr(self.metric, "hits", None)
+        if hits is not None:  # fold in distance-cache traffic since begin_batch
+            self.counters.cache_hits = hits
+            self.counters.cache_misses = self.metric.misses
+        return self.counters.delta_since(self._stats_snapshot)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchContext(workers={len(self.workers)}, tasks={len(self.tasks)}, "
+            f"now={self.now}, engine={self.counters is not None})"
+        )

@@ -1,0 +1,47 @@
+"""Instrumentation counters for the allocation engine's hot path."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class EngineCounters:
+    """Cumulative counters over an engine's lifetime.
+
+    Attributes:
+        full_builds: batches served by a from-scratch feasibility build.
+        incremental_updates: batches served by diffing the previous graph.
+        worker_rows_recomputed: candidate rows rebuilt because a worker was
+            new or rejoined at a different position/window.
+        tasks_added: tasks linked into the graph after the first build.
+        tasks_removed: tasks dropped (assigned or expired) from the graph.
+        pairs_checked: exact feasibility evaluations performed.
+        pruned_by_index: candidate pairs skipped thanks to grid-index probes.
+        time_filtered: cheap per-batch deadline re-checks of cached pairs.
+        cache_hits: distance-cache hits.
+        cache_misses: distance-cache misses (actual metric evaluations).
+    """
+
+    full_builds: int = 0
+    incremental_updates: int = 0
+    worker_rows_recomputed: int = 0
+    tasks_added: int = 0
+    tasks_removed: int = 0
+    pairs_checked: int = 0
+    pruned_by_index: int = 0
+    time_filtered: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self, prefix: str = "engine_") -> Dict[str, float]:
+        """The counters as a flat float dict (stats-record friendly)."""
+        return {
+            f"{prefix}{f.name}": float(getattr(self, f.name)) for f in fields(self)
+        }
+
+    def delta_since(self, snapshot: Dict[str, float], prefix: str = "engine_") -> Dict[str, float]:
+        """Per-batch view: current totals minus an ``as_dict`` snapshot."""
+        current = self.as_dict(prefix)
+        return {key: current[key] - snapshot.get(key, 0.0) for key in current}

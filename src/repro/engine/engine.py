@@ -1,0 +1,336 @@
+"""The shared per-batch allocation engine.
+
+One :class:`AllocationEngine` lives for a whole platform run.  It owns the
+feasible-pair graph, a memoizing distance cache and the instrumentation
+counters, and hands each batch a :class:`~repro.engine.context.BatchContext`
+whose feasibility oracle is a cheap *view* over the persistent graph rather
+than a from-scratch rebuild.
+
+Why this is sound
+-----------------
+With a fixed worker record, pair feasibility is monotone non-increasing in
+time: the departure ``max(s_w, s_t, now)`` only moves later as ``now``
+advances.  The engine therefore stores links checked at the batch timestamp
+they were (re)computed — a superset of the feasible pairs at any *later*
+``now`` — along with each link's exact distance.  Each batch view
+re-applies only the cheap time-dependent deadline predicate (pure
+arithmetic on the stored distance), yielding exactly the pair set a fresh
+:class:`~repro.core.constraints.FeasibilityChecker` would compute.  Batch
+timestamps must be non-decreasing for the supersets to hold, which the
+platform's clock guarantees; a backwards jump triggers a full rebuild.
+
+Between batches the graph updates incrementally: assigned and expired tasks
+are unlinked, departed workers dropped (a busy worker always returns as a
+*relocated* record, so a row can never silently go stale), newly-appearing
+tasks linked against the current workers, and only new or changed workers
+get their candidate row recomputed — a grid-index probe plus exact checks
+instead of a full ``|W| x |T|`` rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import deadline_ok, reach_radius
+from repro.core.instance import ProblemInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.engine.context import BatchContext
+from repro.engine.counters import EngineCounters
+from repro.spatial.cache import CachedMetric
+from repro.spatial.index import GridIndex
+
+
+class AllocationEngine:
+    """Incremental feasibility + distance caching for a platform run.
+
+    Args:
+        instance: the problem being simulated; supplies the base metric.
+        use_index: probe a task grid index when the metric declares
+            ``euclidean_lower_bound``; otherwise rows are computed by
+            exhaustive (but cached-distance) scans, which is always correct.
+    """
+
+    def __init__(self, instance: ProblemInstance, use_index: bool = True) -> None:
+        self.instance = instance
+        self.metric = CachedMetric(instance.metric)
+        self.counters = EngineCounters()
+        self.use_index = use_index
+        self._workers: Dict[int, Worker] = {}
+        self._tasks: Dict[int, Task] = {}
+        # Each link stores (task start, task deadline, exact travel time),
+        # so per-batch deadline filtering is three float comparisons — no
+        # metric, cache or attribute traffic.
+        self._tasks_of: Dict[int, Dict[int, Tuple[float, float, float]]] = {}
+        self._workers_of: Dict[int, Set[int]] = {}
+        self._index: Optional[GridIndex[int]] = None
+        self._built = False
+        self._now = -math.inf
+
+    # -- public API --------------------------------------------------------------
+
+    def begin_batch(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        previously_assigned: AbstractSet[int] = frozenset(),
+    ) -> BatchContext:
+        """Bring the graph up to date for this batch and wrap it in a context.
+
+        The engine self-heals by diffing against the populations it is
+        given, so callers need no separate "end batch" notification:
+        whatever left the pool since the previous call is unlinked here.
+        """
+        workers = list(workers)
+        tasks = list(tasks)
+        self._sync_cache_counters()
+        snapshot = self.counters.as_dict()
+        if self._built and now < self._now:
+            # Time went backwards: stored rows are no longer supersets.
+            self._reset()
+        if not self._built:
+            self._full_build(workers, tasks, now)
+            self.counters.full_builds += 1
+            self._built = True
+        else:
+            self._incremental_update(workers, tasks, now)
+            self.counters.incremental_updates += 1
+        self._now = now
+        self._sync_cache_counters()
+        return BatchContext(
+            workers,
+            tasks,
+            self.instance,
+            now,
+            previously_assigned,
+            metric=self.metric,
+            counters=self.counters,
+            checker_factory=lambda: BatchFeasibilityView(self, workers, tasks, now),
+            stats_snapshot=snapshot,
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Cumulative counters (including distance-cache totals)."""
+        self._sync_cache_counters()
+        return self.counters.as_dict()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    # -- build / update ----------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._workers.clear()
+        self._tasks.clear()
+        self._tasks_of.clear()
+        self._workers_of.clear()
+        self._index = None
+        self._built = False
+
+    def _full_build(
+        self, workers: Sequence[Worker], tasks: Sequence[Task], now: float
+    ) -> None:
+        for task in tasks:
+            self._tasks[task.id] = task
+            self._workers_of[task.id] = set()
+        self._index = self._make_index(workers, tasks, now)
+        latest = self._latest_deadline()
+        for worker in workers:
+            self._recompute_row(worker, latest, now)
+
+    def _incremental_update(
+        self, workers: Sequence[Worker], tasks: Sequence[Task], now: float
+    ) -> None:
+        batch_tids = {t.id for t in tasks}
+        batch_wids = {w.id for w in workers}
+        for tid in [t for t in self._tasks if t not in batch_tids]:
+            self._remove_task(tid)
+            self.counters.tasks_removed += 1
+        # A worker absent from the batch is busy or gone; it can only return
+        # as a *different* record (relocated / refreshed window), which
+        # forces a row recompute — so dropping its row now is safe.
+        for wid in [w for w in self._workers if w not in batch_wids]:
+            self._remove_worker(wid)
+        changed = [w for w in workers if self._workers.get(w.id) != w]
+        changed_ids = {w.id for w in changed}
+        for task in tasks:
+            if task.id not in self._tasks:
+                self._add_task(task, changed_ids, now)
+                self.counters.tasks_added += 1
+        latest = self._latest_deadline()
+        for worker in changed:
+            self._recompute_row(worker, latest, now)
+
+    def _add_task(
+        self, task: Task, skip_workers: AbstractSet[int], now: float
+    ) -> None:
+        self._tasks[task.id] = task
+        self._workers_of[task.id] = set()
+        if self._index is not None:
+            self._index.insert(task.id, task.location)
+        # Workers about to be re-probed (skip_workers) pick the task up
+        # during their own row recompute.
+        for worker in self._workers.values():
+            if worker.id not in skip_workers:
+                self._link_check(worker, task, now)
+
+    def _remove_task(self, task_id: int) -> None:
+        del self._tasks[task_id]
+        if self._index is not None and task_id in self._index:
+            self._index.remove(task_id)
+        for worker_id in self._workers_of.pop(task_id):
+            del self._tasks_of[worker_id][task_id]
+
+    def _remove_worker(self, worker_id: int) -> None:
+        del self._workers[worker_id]
+        for task_id in self._tasks_of.pop(worker_id):
+            self._workers_of[task_id].discard(worker_id)
+
+    def _recompute_row(
+        self, worker: Worker, latest_deadline: float, now: float
+    ) -> None:
+        if worker.id in self._workers:
+            self._remove_worker(worker.id)
+        self._workers[worker.id] = worker
+        self._tasks_of[worker.id] = {}
+        self.counters.worker_rows_recomputed += 1
+        if self._index is not None:
+            span = reach_radius(worker, latest_deadline, now)
+            candidates: Iterable[int] = self._index.query_radius(worker.location, span)
+            candidates = list(candidates)
+            self.counters.pruned_by_index += len(self._tasks) - len(candidates)
+        else:
+            candidates = list(self._tasks)
+        for task_id in candidates:
+            self._link_check(worker, self._tasks[task_id], now)
+
+    def _link_check(self, worker: Worker, task: Task, now: float) -> None:
+        # Superset test at the batch timestamp: feasibility only shrinks as
+        # time advances, so later batch views' deadline filter never misses
+        # a pair.  The stored travel time is the same division
+        # ``deadline_ok`` would perform, so the filters are bit-identical.
+        self.counters.pairs_checked += 1
+        if task.skill not in worker.skills:
+            return
+        dist = self.metric(worker.location, task.location)
+        if dist > worker.max_distance or not deadline_ok(
+            worker, task, now=now, dist=dist
+        ):
+            return
+        # ``deadline_ok`` held, so dist > 0 implies velocity > 0 here.
+        travel = dist / worker.velocity if dist > 0.0 else 0.0
+        self._tasks_of[worker.id][task.id] = (task.start, task.deadline, travel)
+        self._workers_of[task.id].add(worker.id)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _latest_deadline(self) -> float:
+        return max((t.deadline for t in self._tasks.values()), default=0.0)
+
+    def _make_index(
+        self, workers: Sequence[Worker], tasks: Sequence[Task], now: float
+    ) -> Optional[GridIndex[int]]:
+        """Same sizing heuristics as ``FeasibilityChecker._build_with_index``."""
+        if not self.use_index or not self.metric.euclidean_lower_bound or not tasks:
+            return None
+        latest = max(t.deadline for t in tasks)
+        spans = [reach_radius(w, latest, now) for w in workers]
+        positive = sorted(s for s in spans if s > 0.0)
+        cell = positive[len(positive) // 2] if positive else 1.0
+        xs = [t.location[0] for t in tasks]
+        ys = [t.location[1] for t in tasks]
+        extent = max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+        if cell > extent / 2.0:
+            # Typical reach spans most of the region: the index cannot prune
+            # anything, so skip its bookkeeping for the whole run.
+            return None
+        floor_cell = extent / max(4.0, math.sqrt(len(tasks)) * 2.0)
+        index: GridIndex[int] = GridIndex(cell_size=max(cell, floor_cell, 1e-9))
+        index.insert_many((t.id, t.location) for t in tasks)
+        return index
+
+    def _sync_cache_counters(self) -> None:
+        self.counters.cache_hits = self.metric.hits
+        self.counters.cache_misses = self.metric.misses
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationEngine(workers={len(self._workers)}, "
+            f"tasks={len(self._tasks)}, built={self._built})"
+        )
+
+
+class BatchFeasibilityView:
+    """A :class:`FeasibilityChecker`-compatible view over the engine's graph.
+
+    Construction filters each batch worker's candidate row with the
+    time-dependent deadline predicate at the batch timestamp (each link's
+    distance was stored when the link was made, so no metric evaluation
+    happens here) and canonically sorts both row directions — the result is
+    the exact pair set, in the exact order, a fresh checker would produce.
+    """
+
+    def __init__(
+        self,
+        engine: AllocationEngine,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+    ) -> None:
+        self.workers = list(workers)
+        self.tasks = list(tasks)
+        self.metric = engine.metric
+        self.now = now
+        tasks_of: Dict[int, List[int]] = {}
+        workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
+        checked = 0
+        for worker in self.workers:
+            row: List[int] = []
+            links = engine._tasks_of.get(worker.id, {})
+            checked += len(links)
+            w_deadline = worker.deadline
+            base = now if now > worker.start else worker.start
+            # Inlined ``deadline_ok``: a stored link already passed the
+            # time-independent window/velocity tests, so only the departure
+            # checks remain — same comparisons, same floats.
+            for tid in sorted(links):
+                t_start, t_deadline, travel = links[tid]
+                depart = t_start if t_start > base else base
+                if depart <= w_deadline and depart + travel <= t_deadline:
+                    row.append(tid)
+                    workers_of[tid].append(worker.id)
+            tasks_of[worker.id] = row
+        for tid in workers_of:
+            workers_of[tid].sort()
+        engine.counters.time_filtered += checked
+        engine._sync_cache_counters()
+        self._tasks_of = tasks_of
+        self._workers_of = workers_of
+        self._task_sets = {wid: frozenset(row) for wid, row in tasks_of.items()}
+
+    # -- FeasibilityChecker API ---------------------------------------------------
+
+    def tasks_of(self, worker_id: int) -> List[int]:
+        return self._tasks_of.get(worker_id, [])
+
+    def workers_of(self, task_id: int) -> List[int]:
+        return self._workers_of.get(task_id, [])
+
+    def feasible(self, worker_id: int, task_id: int) -> bool:
+        row = self._task_sets.get(worker_id)
+        return row is not None and task_id in row
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        for wid, tids in self._tasks_of.items():
+            for tid in tids:
+                yield (wid, tid)
+
+    def pair_count(self) -> int:
+        return sum(len(tids) for tids in self._tasks_of.values())

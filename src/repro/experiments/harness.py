@@ -35,6 +35,14 @@ class SweepResult:
     name: str
     parameter: str
     points: List[SweepPoint] = field(default_factory=list)
+    # Lookup index over ``points`` keyed by (label, approach).  ``points`` is
+    # a public list callers append to freely, so the index is rebuilt
+    # whenever its size no longer matches (points are append-only in
+    # practice; a key miss after rebuild is a genuine miss).
+    _index: Dict[Tuple[str, str], SweepPoint] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=-1, repr=False, compare=False)
 
     @property
     def labels(self) -> List[str]:
@@ -53,10 +61,17 @@ class SweepResult:
         return seen
 
     def point(self, label: str, approach: str) -> SweepPoint:
-        for candidate in self.points:
-            if candidate.label == label and candidate.approach == approach:
-                return candidate
-        raise KeyError(f"no point for ({label!r}, {approach!r})")
+        if self._indexed_count != len(self.points):
+            # setdefault keeps the *first* occurrence on duplicate keys,
+            # matching the linear scan this index replaced.
+            self._index = {}
+            for p in self.points:
+                self._index.setdefault((p.label, p.approach), p)
+            self._indexed_count = len(self.points)
+        try:
+            return self._index[(label, approach)]
+        except KeyError:
+            raise KeyError(f"no point for ({label!r}, {approach!r})") from None
 
     def scores_of(self, approach: str) -> List[int]:
         """Scores across the sweep, in label order — one figure line."""
@@ -74,6 +89,7 @@ def evaluate_approaches(
     seed: int = 0,
     single_batch: bool = False,
     allocators: Optional[Dict[str, BatchAllocator]] = None,
+    use_engine: bool = True,
 ) -> Dict[str, Tuple[int, float]]:
     """Run each named approach over the instance.
 
@@ -88,6 +104,9 @@ def evaluate_approaches(
         single_batch: run the offline single-batch setting (Table VI) instead
             of the dynamic platform.
         allocators: optional pre-built allocators overriding the registry.
+        use_engine: platform-run batches share an
+            :class:`~repro.engine.engine.AllocationEngine` (scores are
+            identical either way; this only affects running time).
 
     Returns:
         approach name -> ``(total score, total allocator seconds)``.
@@ -99,7 +118,12 @@ def evaluate_approaches(
             outcome = run_single_batch(instance, allocator)
             results[name] = (outcome.score, outcome.elapsed)
         else:
-            report = Platform(instance, allocator, batch_interval=batch_interval).run()
+            report = Platform(
+                instance,
+                allocator,
+                batch_interval=batch_interval,
+                use_engine=use_engine,
+            ).run()
             results[name] = (report.total_score, report.total_elapsed)
     return results
 
@@ -113,6 +137,7 @@ def run_sweep(
     batch_interval: float = 5.0,
     seed: int = 0,
     single_batch: bool = False,
+    use_engine: bool = True,
 ) -> SweepResult:
     """Evaluate ``approaches`` on ``make_instance(value)`` for each value."""
     result = SweepResult(name=name, parameter=parameter)
@@ -124,6 +149,7 @@ def run_sweep(
             batch_interval=batch_interval,
             seed=seed,
             single_batch=single_batch,
+            use_engine=use_engine,
         )
         for approach, (score, elapsed) in measured.items():
             result.points.append(SweepPoint(str(value), approach, score, elapsed))

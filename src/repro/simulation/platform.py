@@ -21,6 +21,7 @@ from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
 from repro.core.worker import Worker
+from repro.engine.engine import AllocationEngine
 from repro.simulation.events import Event, EventKind, EventLog
 from repro.simulation.stats import BatchRecord, SimulationReport
 
@@ -59,6 +60,11 @@ class Platform:
         rejoin: worker rejoin policy after completing a task.
         event_log: optional trace recorder receiving ASSIGN / COMPLETE /
             EXPIRE events.
+        use_engine: build batch contexts through a shared
+            :class:`~repro.engine.engine.AllocationEngine` (incremental
+            feasibility + distance caching).  Disabling it falls back to the
+            historic fresh-rebuild-per-batch path; both produce bit-identical
+            reports.
 
     The simulation is deterministic given a deterministic allocator.
     """
@@ -70,6 +76,7 @@ class Platform:
         batch_interval: float = 5.0,
         rejoin: RejoinPolicy = RejoinPolicy.REMAINING,
         event_log: Optional[EventLog] = None,
+        use_engine: bool = True,
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
@@ -78,6 +85,7 @@ class Platform:
         self.batch_interval = batch_interval
         self.rejoin = rejoin
         self.event_log = event_log
+        self.use_engine = use_engine
 
     def run(self) -> SimulationReport:
         """Simulate the whole horizon and return the aggregate report."""
@@ -93,6 +101,7 @@ class Platform:
         busy: Dict[int, _BusyWorker] = {}
         assigned_tasks: Set[int] = set()
         open_task_ids = {t.id for t in instance.tasks}
+        engine = AllocationEngine(instance) if self.use_engine else None
 
         # Batches fire at start, start + interval, ... and once more exactly
         # at the horizon, so nothing alive can slip between the last regular
@@ -110,9 +119,15 @@ class Platform:
                 if instance.task(tid).active_at(now)
             ]
             if workers and tasks:
-                outcome = self.allocator.allocate(
-                    workers, tasks, instance, now, frozenset(assigned_tasks)
-                )
+                if engine is not None:
+                    context = engine.begin_batch(
+                        workers, tasks, now, frozenset(assigned_tasks)
+                    )
+                    outcome = self.allocator.allocate(context)
+                else:
+                    outcome = self.allocator.allocate(
+                        workers, tasks, instance, now, frozenset(assigned_tasks)
+                    )
                 self._execute(
                     outcome, pool, busy, assigned_tasks, open_task_ids, now, report,
                     batch_index=index,
@@ -157,6 +172,8 @@ class Platform:
         report.expired_tasks = sorted(
             tid for tid in instance.task_ids if tid not in assigned_tasks
         )
+        if engine is not None:
+            report.engine_stats = engine.stats()
         return report
 
     # -- internals --------------------------------------------------------------------

@@ -38,6 +38,8 @@ class SimulationReport:
         completion_times: task id -> physical completion time (travel +
             service), for assigned tasks.
         expired_tasks: ids of tasks that left the platform unassigned.
+        engine_stats: cumulative :class:`~repro.engine.counters.EngineCounters`
+            totals for the run (empty when the engine path is disabled).
     """
 
     allocator: str
@@ -45,6 +47,7 @@ class SimulationReport:
     assignments: Dict[int, int] = field(default_factory=dict)
     completion_times: Dict[int, float] = field(default_factory=dict)
     expired_tasks: List[int] = field(default_factory=list)
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_score(self) -> int:

@@ -7,6 +7,7 @@ haversine for lon/lat data such as the Meetup-like generator output) and a
 uniform-grid spatial index used to prune feasible worker/task pairs.
 """
 
+from repro.spatial.cache import CachedMetric
 from repro.spatial.distance import (
     DistanceMetric,
     EuclideanDistance,
@@ -24,6 +25,7 @@ from repro.spatial.roadnet import RoadNetwork, RoadNetworkDistance, grid_road_ne
 
 __all__ = [
     "BoundingBox",
+    "CachedMetric",
     "DistanceMetric",
     "EuclideanDistance",
     "GridIndex",

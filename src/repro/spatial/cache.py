@@ -1,0 +1,73 @@
+"""A memoizing wrapper around any :class:`DistanceMetric`.
+
+The batch loop evaluates the same worker/task location pairs over and over:
+feasibility builds, the lazy per-batch deadline filter, ``Closest``'s
+distance-sorted matching and the simulator's travel accounting all ask for
+``metric(l_w, l_t)``.  For the planar metrics an evaluation is cheap but not
+free; for the road-network metric it is a Dijkstra query.  ``CachedMetric``
+memoizes evaluations by exact point pair so every repeat is a dict hit, and
+counts hits/misses so the engine can report cache effectiveness.
+
+The wrapper is transparent: it reports the same ``name`` (metrics compare
+equal by name) and the same ``euclidean_lower_bound`` flag, so grid-index
+pruning decisions are unchanged, and it returns bit-identical values to the
+wrapped metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.spatial.distance import DistanceMetric, Point
+
+
+class CachedMetric(DistanceMetric):
+    """Memoizes a base metric by ``(a, b)`` point pair.
+
+    Args:
+        base: the metric to wrap.  Wrapping an already-cached metric reuses
+            its underlying base rather than stacking caches.
+
+    Keys are directional (``(a, b)`` and ``(b, a)`` are distinct entries) so
+    the wrapper stays correct for asymmetric metrics such as one-way road
+    networks.
+    """
+
+    def __init__(self, base: DistanceMetric) -> None:
+        if isinstance(base, CachedMetric):
+            base = base.base
+        self.base = base
+        self.name = base.name
+        self.euclidean_lower_bound = base.euclidean_lower_bound
+        self.hits = 0
+        self.misses = 0
+        self._cache: Dict[Tuple[Point, Point], float] = {}
+
+    def __call__(self, a: Point, b: Point) -> float:
+        key = (a, b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.base(a, b)
+        self._cache[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoized entry (counters are kept)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __bool__(self) -> bool:
+        # ``__len__`` would otherwise make an *empty* cache falsy, and the
+        # ``metric or _EUCLIDEAN`` defaulting idiom would silently bypass it.
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedMetric({self.base!r}, entries={len(self._cache)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -68,9 +68,11 @@ class TestGameProducesEquilibria:
         state = GameState(example1, example1.tasks, strategies, alpha=game.alpha)
         import random
 
-        game._initialise(
-            state, strategies, example1.workers, example1.tasks, example1,
-            0.0, frozenset(), random.Random(seed),
+        from repro.engine import BatchContext
+
+        context = BatchContext.standalone(
+            example1.workers, example1.tasks, example1, 0.0
         )
+        game._initialise(state, strategies, context, random.Random(seed))
         game._best_response(state, strategies)
         assert is_nash_equilibrium(state, strategies)

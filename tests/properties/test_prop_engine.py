@@ -1,0 +1,145 @@
+"""Property tests for the allocation engine.
+
+Two invariants:
+
+* a batch view over the engine's persistent graph equals a fresh
+  exhaustive :class:`FeasibilityChecker` for the same populations, for
+  every supported metric;
+* after arbitrary cross-batch churn (tasks leaving/arriving, workers
+  leaving/relocating), the incrementally-maintained view still equals a
+  from-scratch build — and a second engine built fresh at the final batch
+  agrees with the churned one.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import FeasibilityChecker
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.engine import AllocationEngine
+from repro.spatial.distance import (
+    EuclideanDistance,
+    HaversineDistance,
+    ManhattanDistance,
+)
+
+METRICS = [EuclideanDistance(), ManhattanDistance(), HaversineDistance()]
+
+
+def _population(rng, n_w, n_t, id_base=0):
+    workers = [
+        Worker(
+            id=id_base + i,
+            location=(rng.uniform(0, 2), rng.uniform(0, 2)),
+            start=rng.uniform(0, 5),
+            wait=rng.uniform(1, 10),
+            velocity=rng.uniform(0.3, 2.0),
+            max_distance=rng.uniform(0.3, 3.0),
+            skills=frozenset(rng.sample(range(3), rng.randint(1, 2))),
+        )
+        for i in range(n_w)
+    ]
+    tasks = [
+        Task(
+            id=id_base + i,
+            location=(rng.uniform(0, 2), rng.uniform(0, 2)),
+            start=rng.uniform(0, 5),
+            wait=rng.uniform(1, 10),
+            skill=rng.randrange(3),
+        )
+        for i in range(n_t)
+    ]
+    return workers, tasks
+
+
+def _instance(workers, tasks, metric):
+    return ProblemInstance(
+        workers=workers,
+        tasks=tasks,
+        skills=SkillUniverse(size=3),
+        metric=metric,
+    )
+
+
+def _assert_view_matches(view, reference, workers, tasks):
+    for w in workers:
+        assert view.tasks_of(w.id) == reference.tasks_of(w.id)
+    for t in tasks:
+        assert view.workers_of(t.id) == reference.workers_of(t.id)
+
+
+class TestEngineViewProperty:
+    @given(
+        st.integers(0, 100_000),
+        st.integers(1, 15),
+        st.integers(1, 15),
+        st.sampled_from(range(len(METRICS))),
+        st.floats(0.0, 8.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_first_batch_matches_exhaustive(self, seed, n_w, n_t, m, now):
+        rng = random.Random(seed)
+        metric = METRICS[m]
+        workers, tasks = _population(rng, n_w, n_t)
+        instance = _instance(workers, tasks, metric)
+        engine = AllocationEngine(instance)
+        view = engine.begin_batch(workers, tasks, now).checker
+        reference = FeasibilityChecker(
+            workers, tasks, metric=metric, now=now, use_index=False
+        )
+        _assert_view_matches(view, reference, workers, tasks)
+
+    @given(
+        st.integers(0, 100_000),
+        st.sampled_from(range(len(METRICS))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_churn_matches_full_rebuild(self, seed, m):
+        rng = random.Random(seed)
+        metric = METRICS[m]
+        workers, tasks = _population(rng, rng.randint(3, 12), rng.randint(3, 12))
+        extra_w, extra_t = _population(rng, 4, 4, id_base=100)
+        instance = _instance(workers + extra_w, tasks + extra_t, metric)
+        engine = AllocationEngine(instance)
+
+        cur_workers, cur_tasks = list(workers), list(tasks)
+        pending_w, pending_t = list(extra_w), list(extra_t)
+        now = 0.0
+        for _ in range(4):
+            engine.begin_batch(cur_workers, cur_tasks, now)
+            now += rng.uniform(0.5, 2.0)
+            # churn: some tasks assigned/expired, some arrive
+            cur_tasks = [t for t in cur_tasks if rng.random() > 0.3]
+            while pending_t and rng.random() > 0.5:
+                cur_tasks.append(pending_t.pop())
+            # churn: some workers leave, some relocate, some arrive
+            survivors = []
+            for w in cur_workers:
+                roll = rng.random()
+                if roll < 0.2:
+                    continue  # departed
+                if roll < 0.5:
+                    w = w.relocated(
+                        (rng.uniform(0, 2), rng.uniform(0, 2)),
+                        now,
+                        travelled=rng.uniform(0.0, 0.5),
+                    )
+                survivors.append(w)
+            cur_workers = survivors
+            while pending_w and rng.random() > 0.5:
+                cur_workers.append(pending_w.pop())
+
+        churned = engine.begin_batch(cur_workers, cur_tasks, now).checker
+        reference = FeasibilityChecker(
+            cur_workers, cur_tasks, metric=metric, now=now, use_index=False
+        )
+        _assert_view_matches(churned, reference, cur_workers, cur_tasks)
+
+        fresh_engine = AllocationEngine(instance)
+        fresh = fresh_engine.begin_batch(cur_workers, cur_tasks, now).checker
+        _assert_view_matches(fresh, reference, cur_workers, cur_tasks)
