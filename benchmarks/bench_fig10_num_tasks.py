@@ -5,17 +5,30 @@ match); the baselines profit less — with more tasks per worker, picking
 dependency-blocked ones gets ever more likely.
 """
 
+import time
+
 from conftest import assert_proposed_beat_baselines, assert_trend, total_score
 
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import run_fig10
 
 
-def test_fig10_num_tasks(benchmark, record_result):
+def test_fig10_num_tasks(benchmark, record_result, record_bench_json):
+    started = time.perf_counter()
     result = benchmark.pedantic(
         run_fig10, kwargs={"seed": 7, "scale": 0.2}, rounds=1, iterations=1
     )
+    wall_ms = (time.perf_counter() - started) * 1000.0
     record_result("fig10_num_tasks", format_sweep(result))
+    record_bench_json(
+        "fig10_num_tasks",
+        {"experiment": "fig10", "seed": 7, "scale": 0.2},
+        wall_ms,
+        {
+            f"total_score_{approach}": total_score(result, approach)
+            for approach in result.approaches
+        },
+    )
 
     assert_proposed_beat_baselines(result)
     assert_trend(result.scores_of("Greedy"), "up")

@@ -14,11 +14,16 @@ directory regardless.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The machine-readable perf trajectory file CI diffs across commits.
+BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
+BENCH_SCHEMA = "repro.bench/engine/v1"
 
 #: Approaches considered "proposed" vs "baseline" for shape assertions.
 PROPOSED = ("Greedy", "Game", "Game-5%", "G-G")
@@ -35,6 +40,38 @@ def record_result():
         print("\n" + text)
 
     return _record
+
+
+def record_bench_entry(name: str, config: dict, wall_ms: float, counters: dict) -> None:
+    """Merge one measurement into ``results/BENCH_engine.json``.
+
+    Entries are keyed by ``name`` (re-running a bench overwrites its entry)
+    and kept name-sorted, so successive runs produce minimal diffs and CI
+    can compare the file across commits.  Schema per entry:
+    ``{name, config, wall_ms, counters}``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entries = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        if data.get("schema") == BENCH_SCHEMA:
+            entries = {entry["name"]: entry for entry in data.get("entries", [])}
+    entries[name] = {
+        "name": name,
+        "config": config,
+        "wall_ms": round(wall_ms, 3),
+        "counters": {key: counters[key] for key in sorted(counters)},
+    }
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "entries": [entries[key] for key in sorted(entries)],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def record_bench_json():
+    return record_bench_entry
 
 
 def total_score(result, approach: str) -> int:

@@ -88,8 +88,16 @@ class BatchAllocator(abc.ABC):
             context = BatchContext.standalone(
                 workers, tasks, instance, now, previously_assigned
             )
+        tracer = context.tracer
         started = time.perf_counter()
-        outcome = self._allocate(context)
+        if tracer.enabled:
+            with tracer.span("alloc." + self.name) as span:
+                outcome = self._allocate(context)
+            span.set("workers", len(context.workers))
+            span.set("tasks", len(context.tasks))
+            span.set("score", outcome.assignment.score)
+        else:
+            outcome = self._allocate(context)
         outcome.elapsed = time.perf_counter() - started
         engine_stats = context.engine_stats()
         if engine_stats:

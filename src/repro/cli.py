@@ -40,6 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=str, default=None, help="also write the table here")
     run.add_argument("--csv", type=str, default=None, help="export the raw points as CSV")
     run.add_argument("--plot", action="store_true", help="draw an ASCII chart of the scores")
+    _add_obs_arguments(run)
 
     gen = sub.add_parser("generate", help="generate an instance JSON")
     gen.add_argument("family", choices=["synthetic", "meetup"])
@@ -59,8 +60,31 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--batch-interval", type=float, default=None, help="run the dynamic platform with this interval instead of a single batch")
     solve.add_argument("--no-engine", action="store_true", help="disable the shared allocation engine (fresh feasibility rebuild per batch)")
     solve.add_argument("--engine-stats", action="store_true", help="print the engine's counters after a platform run")
+    _add_obs_arguments(solve)
 
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print a per-phase latency table",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the span trace as JSONL (implies tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write counters/gauges/histograms as JSONL",
+    )
 
 
 def _cmd_list() -> int:
@@ -72,11 +96,50 @@ def _cmd_list() -> int:
     return 0
 
 
+def _obs_tracer(args: argparse.Namespace):
+    """A live tracer when any obs flag asks for one, else None."""
+    if args.profile or args.trace_out:
+        from repro.obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _obs_report(args: argparse.Namespace, tracer, *registries) -> None:
+    """Shared tail of ``run``/``solve``: latency table + JSONL exports."""
+    if tracer is not None and args.profile:
+        print("\nper-phase latency:")
+        print(tracer.summary())
+    if tracer is not None and args.trace_out:
+        from repro.obs import write_trace_jsonl
+
+        count = write_trace_jsonl(tracer, args.trace_out)
+        print(f"wrote {count} spans -> {args.trace_out}")
+    if args.metrics_out:
+        from repro.obs import get_registry, write_metrics_jsonl
+
+        targets = [r for r in registries if r is not None] + [get_registry()]
+        count = write_metrics_jsonl(args.metrics_out, *targets)
+        print(f"wrote {count} metrics -> {args.metrics_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {"seed": args.seed}
     if args.scale is not None:
         kwargs["scale"] = args.scale
-    result = run_experiment(args.experiment, **kwargs)
+    tracer = _obs_tracer(args)
+    if tracer is not None:
+        from repro.obs import set_tracer
+
+        # The per-figure runners do not take a tracer argument; install the
+        # process default so the harness and platforms underneath pick it up.
+        previous = set_tracer(tracer)
+        try:
+            result = run_experiment(args.experiment, **kwargs)
+        finally:
+            set_tracer(previous)
+    else:
+        result = run_experiment(args.experiment, **kwargs)
     table = format_sweep(result)
     print(table)
     if args.plot:
@@ -90,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments.export import save_sweep_csv
 
         save_sweep_csv(result, args.csv)
+    _obs_report(args, tracer)
     return 0
 
 
@@ -129,13 +193,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     allocator = make_allocator(args.approach, seed=args.seed)
+    tracer = _obs_tracer(args)
+    metrics_registry = None
     if args.batch_interval:
-        report = Platform(
+        platform = Platform(
             instance,
             allocator,
             batch_interval=args.batch_interval,
             use_engine=not args.no_engine,
-        ).run()
+            tracer=tracer,
+        )
+        report = platform.run()
+        metrics_registry = platform.metrics_registry
         print(report.summary())
         if args.engine_stats:
             if report.engine_stats:
@@ -145,13 +214,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             else:
                 print("engine counters: none (engine disabled)")
     else:
-        outcome = run_single_batch(instance, allocator)
+        if tracer is not None:
+            from repro.obs import set_tracer
+
+            # Single-batch contexts are standalone; route the allocator's
+            # span through the process-default tracer.
+            previous = set_tracer(tracer)
+            try:
+                outcome = run_single_batch(instance, allocator)
+            finally:
+                set_tracer(previous)
+        else:
+            outcome = run_single_batch(instance, allocator)
         print(
             f"{allocator.name}: score={outcome.score} "
             f"in {outcome.elapsed * 1000.0:.1f} ms"
         )
         for worker_id, task_id in outcome.assignment.pairs():
             print(f"  worker {worker_id} -> task {task_id}")
+    _obs_report(args, tracer, metrics_registry)
     return 0
 
 

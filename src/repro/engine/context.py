@@ -34,6 +34,7 @@ from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.engine.counters import EngineCounters
+from repro.obs.trace import Tracer, get_tracer
 from repro.spatial.distance import DistanceMetric
 
 
@@ -92,6 +93,10 @@ class BatchContext:
             bit-identical either way.
         counters: the engine's cumulative counters (None for standalone
             contexts).
+        tracer: the run's span tracer — the engine's when engine-built, the
+            process default (usually the shared no-op tracer) otherwise;
+            allocators record one ``alloc.<name>`` span per invocation
+            through it.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class BatchContext:
         counters: Optional[EngineCounters] = None,
         checker_factory: Optional[Callable[[], object]] = None,
         stats_snapshot: Optional[Dict[str, float]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.workers = list(workers)
         self.tasks = list(tasks)
@@ -114,6 +120,7 @@ class BatchContext:
         self.previously_assigned = frozenset(previously_assigned)
         self.metric = metric if metric is not None else instance.metric
         self.counters = counters
+        self.tracer = tracer if tracer is not None else get_tracer()
         # The engine snapshots its counters *before* the batch's graph
         # update, so per-batch deltas include that update's work.
         if stats_snapshot is not None:

@@ -1,47 +1,106 @@
-"""Instrumentation counters for the allocation engine's hot path."""
+"""Instrumentation counters for the allocation engine's hot path.
+
+:class:`EngineCounters` is a thin façade over ``repro.obs`` counters: each
+named field delegates to a :class:`repro.obs.metrics.Counter` in a per-run
+:class:`~repro.obs.metrics.MetricsRegistry`, so the same totals the engine
+has always reported through ``as_dict`` (``engine_*`` keys, unchanged) are
+also visible to the metrics exporters — Prometheus text, JSONL dumps —
+without a second bookkeeping path.
+
+The registry is **private to each instance** by default.  Engine stats are
+per-run by contract (``SimulationReport.engine_stats`` must be reproducible
+for a given seed), so sharing one registry between engines would silently
+merge runs; callers who want the counters in a larger export pass their own
+registry explicitly and own that trade-off.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.metrics import Counter, MetricsRegistry
+
+#: Field name -> help text, in report order.  ``as_dict`` key order follows
+#: this tuple, so the flat dict is stable across runs and Python versions.
+_COUNTER_FIELDS = (
+    ("full_builds", "batches served by a from-scratch feasibility build"),
+    ("incremental_updates", "batches served by diffing the previous graph"),
+    (
+        "worker_rows_recomputed",
+        "candidate rows rebuilt because a worker was new or rejoined "
+        "at a different position/window",
+    ),
+    ("tasks_added", "tasks linked into the graph after the first build"),
+    ("tasks_removed", "tasks dropped (assigned or expired) from the graph"),
+    ("pairs_checked", "exact feasibility evaluations performed"),
+    ("pruned_by_index", "candidate pairs skipped thanks to grid-index probes"),
+    ("time_filtered", "cheap per-batch deadline re-checks of cached pairs"),
+    ("cache_hits", "distance-cache hits"),
+    ("cache_misses", "distance-cache misses (actual metric evaluations)"),
+)
+
+FIELD_NAMES = tuple(name for name, _ in _COUNTER_FIELDS)
 
 
-@dataclass
 class EngineCounters:
     """Cumulative counters over an engine's lifetime.
 
-    Attributes:
-        full_builds: batches served by a from-scratch feasibility build.
-        incremental_updates: batches served by diffing the previous graph.
-        worker_rows_recomputed: candidate rows rebuilt because a worker was
-            new or rejoined at a different position/window.
-        tasks_added: tasks linked into the graph after the first build.
-        tasks_removed: tasks dropped (assigned or expired) from the graph.
-        pairs_checked: exact feasibility evaluations performed.
-        pruned_by_index: candidate pairs skipped thanks to grid-index probes.
-        time_filtered: cheap per-batch deadline re-checks of cached pairs.
-        cache_hits: distance-cache hits.
-        cache_misses: distance-cache misses (actual metric evaluations).
+    Every field reads and writes an obs :class:`Counter` registered as
+    ``engine_<field>`` in :attr:`registry`; ``counters.pairs_checked += 1``
+    and ``registry.counter("engine_pairs_checked").inc()`` are the same
+    operation.  Field semantics are documented on :data:`_COUNTER_FIELDS`.
     """
 
-    full_builds: int = 0
-    incremental_updates: int = 0
-    worker_rows_recomputed: int = 0
-    tasks_added: int = 0
-    tasks_removed: int = 0
-    pairs_checked: int = 0
-    pruned_by_index: int = 0
-    time_filtered: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    __slots__ = ("registry", "_counters")
 
-    def as_dict(self, prefix: str = "engine_") -> Dict[str, float]:
-        """The counters as a flat float dict (stats-record friendly)."""
-        return {
-            f"{prefix}{f.name}": float(getattr(self, f.name)) for f in fields(self)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters: Dict[str, Counter] = {
+            name: self.registry.counter(f"engine_{name}", help=text)
+            for name, text in _COUNTER_FIELDS
         }
 
-    def delta_since(self, snapshot: Dict[str, float], prefix: str = "engine_") -> Dict[str, float]:
-        """Per-batch view: current totals minus an ``as_dict`` snapshot."""
+    def as_dict(self, prefix: str = "engine_") -> Dict[str, float]:
+        """The counters as a flat float dict (stats-record friendly).
+
+        Key order is fixed by :data:`_COUNTER_FIELDS`, so two snapshots can
+        be compared or serialized without sorting first.
+        """
+        counters = self._counters
+        return {f"{prefix}{name}": float(counters[name].value) for name in FIELD_NAMES}
+
+    def delta_since(
+        self, snapshot: Dict[str, float], prefix: str = "engine_"
+    ) -> Dict[str, float]:
+        """Per-batch view: current totals minus an ``as_dict`` snapshot.
+
+        Keys that exist only in the snapshot (a counter renamed or removed
+        between snapshot and now) are still surfaced — as the negated
+        snapshot value — so a rename can never silently drop history from a
+        delta.  Current-total keys come first, in ``as_dict`` order.
+        """
         current = self.as_dict(prefix)
-        return {key: current[key] - snapshot.get(key, 0.0) for key in current}
+        delta = {key: current[key] - snapshot.get(key, 0.0) for key in current}
+        for key, value in snapshot.items():
+            if key not in delta:
+                delta[key] = -value
+        return delta
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={int(self._counters[name].value)}" for name in FIELD_NAMES)
+        return f"EngineCounters({parts})"
+
+
+def _counter_property(name: str) -> property:
+    def _get(self: EngineCounters) -> float:
+        return self._counters[name].value
+
+    def _set(self: EngineCounters, value: float) -> None:
+        self._counters[name].value = value
+
+    return property(_get, _set)
+
+
+for _name in FIELD_NAMES:
+    setattr(EngineCounters, _name, _counter_property(_name))
+del _name

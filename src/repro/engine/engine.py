@@ -38,6 +38,8 @@ from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.engine.context import BatchContext
 from repro.engine.counters import EngineCounters
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.spatial.cache import CachedMetric
 from repro.spatial.index import GridIndex
 
@@ -50,12 +52,37 @@ class AllocationEngine:
         use_index: probe a task grid index when the metric declares
             ``euclidean_lower_bound``; otherwise rows are computed by
             exhaustive (but cached-distance) scans, which is always correct.
+        tracer: spans are recorded around graph builds and updates
+            (``engine.full_build`` / ``engine.incremental_update``).
+            Defaults to the shared no-op tracer.
+        registry: metrics registry receiving the engine's counters and the
+            ``engine_cache_size`` / ``engine_cache_evictions`` gauges.  A
+            private registry is created by default so per-run
+            ``engine_stats`` can never merge across engines.
+        cache_maxsize: optional bound on the distance cache (FIFO eviction);
+            None keeps it unbounded.
     """
 
-    def __init__(self, instance: ProblemInstance, use_index: bool = True) -> None:
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        use_index: bool = True,
+        *,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+        cache_maxsize: Optional[int] = None,
+    ) -> None:
         self.instance = instance
-        self.metric = CachedMetric(instance.metric)
-        self.counters = EngineCounters()
+        self.metric = CachedMetric(instance.metric, maxsize=cache_maxsize)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.counters = EngineCounters(self.registry)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._cache_size_gauge = self.registry.gauge(
+            "engine_cache_size", "entries currently memoized by the distance cache"
+        )
+        self._cache_evictions_gauge = self.registry.gauge(
+            "engine_cache_evictions", "distance-cache entries evicted (bounded caches)"
+        )
         self.use_index = use_index
         self._workers: Dict[int, Worker] = {}
         self._tasks: Dict[int, Task] = {}
@@ -91,14 +118,21 @@ class AllocationEngine:
             # Time went backwards: stored rows are no longer supersets.
             self._reset()
         if not self._built:
-            self._full_build(workers, tasks, now)
+            with self.tracer.span("engine.full_build") as span:
+                self._full_build(workers, tasks, now)
             self.counters.full_builds += 1
             self._built = True
         else:
-            self._incremental_update(workers, tasks, now)
+            with self.tracer.span("engine.incremental_update") as span:
+                self._incremental_update(workers, tasks, now)
             self.counters.incremental_updates += 1
         self._now = now
         self._sync_cache_counters()
+        if self.tracer.enabled:
+            span.set("workers", len(workers))
+            span.set("tasks", len(tasks))
+            span.set("cache_hits", self.counters.cache_hits - snapshot["engine_cache_hits"])
+            span.set("cache_misses", self.counters.cache_misses - snapshot["engine_cache_misses"])
         return BatchContext(
             workers,
             tasks,
@@ -109,6 +143,7 @@ class AllocationEngine:
             counters=self.counters,
             checker_factory=lambda: BatchFeasibilityView(self, workers, tasks, now),
             stats_snapshot=snapshot,
+            tracer=self.tracer,
         )
 
     def stats(self) -> Dict[str, float]:
@@ -150,9 +185,10 @@ class AllocationEngine:
     ) -> None:
         batch_tids = {t.id for t in tasks}
         batch_wids = {w.id for w in workers}
-        for tid in [t for t in self._tasks if t not in batch_tids]:
+        removed = [t for t in self._tasks if t not in batch_tids]
+        for tid in removed:
             self._remove_task(tid)
-            self.counters.tasks_removed += 1
+        self.counters.tasks_removed += len(removed)
         # A worker absent from the batch is busy or gone; it can only return
         # as a *different* record (relocated / refreshed window), which
         # forces a row recompute — so dropping its row now is safe.
@@ -160,10 +196,12 @@ class AllocationEngine:
             self._remove_worker(wid)
         changed = [w for w in workers if self._workers.get(w.id) != w]
         changed_ids = {w.id for w in changed}
+        added = 0
         for task in tasks:
             if task.id not in self._tasks:
                 self._add_task(task, changed_ids, now)
-                self.counters.tasks_added += 1
+                added += 1
+        self.counters.tasks_added += added
         latest = self._latest_deadline()
         for worker in changed:
             self._recompute_row(worker, latest, now)
@@ -177,9 +215,12 @@ class AllocationEngine:
             self._index.insert(task.id, task.location)
         # Workers about to be re-probed (skip_workers) pick the task up
         # during their own row recompute.
+        checked = 0
         for worker in self._workers.values():
             if worker.id not in skip_workers:
                 self._link_check(worker, task, now)
+                checked += 1
+        self.counters.pairs_checked += checked
 
     def _remove_task(self, task_id: int) -> None:
         del self._tasks[task_id]
@@ -208,6 +249,7 @@ class AllocationEngine:
             self.counters.pruned_by_index += len(self._tasks) - len(candidates)
         else:
             candidates = list(self._tasks)
+        self.counters.pairs_checked += len(candidates)
         for task_id in candidates:
             self._link_check(worker, self._tasks[task_id], now)
 
@@ -216,7 +258,8 @@ class AllocationEngine:
         # time advances, so later batch views' deadline filter never misses
         # a pair.  The stored travel time is the same division
         # ``deadline_ok`` would perform, so the filters are bit-identical.
-        self.counters.pairs_checked += 1
+        # Callers count ``pairs_checked`` in bulk — a per-pair counter
+        # increment here dominates the link check itself.
         if task.skill not in worker.skills:
             return
         dist = self.metric(worker.location, task.location)
@@ -259,6 +302,8 @@ class AllocationEngine:
     def _sync_cache_counters(self) -> None:
         self.counters.cache_hits = self.metric.hits
         self.counters.cache_misses = self.metric.misses
+        self._cache_size_gauge.value = float(len(self.metric))
+        self._cache_evictions_gauge.value = float(self.metric.evictions)
 
     def __repr__(self) -> str:
         return (

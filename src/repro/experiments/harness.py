@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.algorithms.base import BatchAllocator
 from repro.algorithms.registry import make_allocator
 from repro.core.instance import ProblemInstance
+from repro.obs.trace import Tracer, get_tracer
 from repro.simulation.platform import Platform, run_single_batch
 
 
@@ -90,6 +91,7 @@ def evaluate_approaches(
     single_batch: bool = False,
     allocators: Optional[Dict[str, BatchAllocator]] = None,
     use_engine: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, Tuple[int, float]]:
     """Run each named approach over the instance.
 
@@ -107,24 +109,32 @@ def evaluate_approaches(
         use_engine: platform-run batches share an
             :class:`~repro.engine.engine.AllocationEngine` (scores are
             identical either way; this only affects running time).
+        tracer: span tracer wrapping each approach's run (and, through the
+            platform, every batch phase).  None uses the process default.
 
     Returns:
         approach name -> ``(total score, total allocator seconds)``.
     """
+    tracer = tracer if tracer is not None else get_tracer()
     results: Dict[str, Tuple[int, float]] = {}
     for name in approaches:
         allocator = (allocators or {}).get(name) or make_allocator(name, seed=seed)
-        if single_batch:
-            outcome = run_single_batch(instance, allocator)
-            results[name] = (outcome.score, outcome.elapsed)
-        else:
-            report = Platform(
-                instance,
-                allocator,
-                batch_interval=batch_interval,
-                use_engine=use_engine,
-            ).run()
-            results[name] = (report.total_score, report.total_elapsed)
+        with tracer.span("harness.approach") as span:
+            if single_batch:
+                outcome = run_single_batch(instance, allocator)
+                results[name] = (outcome.score, outcome.elapsed)
+            else:
+                report = Platform(
+                    instance,
+                    allocator,
+                    batch_interval=batch_interval,
+                    use_engine=use_engine,
+                    tracer=tracer,
+                ).run()
+                results[name] = (report.total_score, report.total_elapsed)
+        if tracer.enabled:
+            span.set("approach", name)
+            span.set("score", results[name][0])
     return results
 
 
@@ -138,19 +148,26 @@ def run_sweep(
     seed: int = 0,
     single_batch: bool = False,
     use_engine: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> SweepResult:
     """Evaluate ``approaches`` on ``make_instance(value)`` for each value."""
+    tracer = tracer if tracer is not None else get_tracer()
     result = SweepResult(name=name, parameter=parameter)
     for value in values:
-        instance = make_instance(value)
-        measured = evaluate_approaches(
-            instance,
-            approaches,
-            batch_interval=batch_interval,
-            seed=seed,
-            single_batch=single_batch,
-            use_engine=use_engine,
-        )
+        with tracer.span("harness.sweep_value") as span:
+            instance = make_instance(value)
+            measured = evaluate_approaches(
+                instance,
+                approaches,
+                batch_interval=batch_interval,
+                seed=seed,
+                single_batch=single_batch,
+                use_engine=use_engine,
+                tracer=tracer,
+            )
+        if tracer.enabled:
+            span.set("experiment", name)
+            span.set("value", str(value))
         for approach, (score, elapsed) in measured.items():
             result.points.append(SweepPoint(str(value), approach, score, elapsed))
     return result

@@ -10,9 +10,20 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, List, Mapping, Sequence, Tuple, TypeVar
 
+from repro.obs.metrics import REGISTRY
+
 R = TypeVar("R", bound=Hashable)
 
 _INF = float("inf")
+
+#: Substrate totals in the process-wide obs registry: how many BFS phases
+#: and successful augmenting paths the solver has run, across all calls.
+_PHASES = REGISTRY.counter(
+    "matching_hk_bfs_phases", "Hopcroft-Karp BFS phases executed"
+)
+_PATHS = REGISTRY.counter(
+    "matching_hk_augmenting_paths", "Hopcroft-Karp augmenting paths applied"
+)
 
 
 def hopcroft_karp(
@@ -75,10 +86,15 @@ def hopcroft_karp(
         dist[left] = _INF
         return False
 
+    phases = 0
+    augmented = 0
     while bfs():
+        phases += 1
         for left in range(n_left):
-            if match_l[left] == -1:
-                dfs(left)
+            if match_l[left] == -1 and dfs(left):
+                augmented += 1
+    _PHASES.value += phases
+    _PATHS.value += augmented
 
     left_to_right = {
         left: rights[match_l[left]] for left in range(n_left) if match_l[left] != -1

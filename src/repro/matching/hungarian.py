@@ -12,8 +12,17 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import REGISTRY
+
 #: Cost marking a forbidden row/column pair.
 INFEASIBLE = math.inf
+
+#: Substrate total in the process-wide obs registry: every row insertion is
+#: one shortest-augmenting-path computation.
+_PATHS = REGISTRY.counter(
+    "matching_hungarian_augmenting_paths",
+    "Hungarian shortest augmenting paths computed (one per matrix row)",
+)
 
 
 def hungarian(cost: Sequence[Sequence[float]]) -> Tuple[List[Optional[int]], float]:
@@ -51,6 +60,8 @@ def hungarian(cost: Sequence[Sequence[float]]) -> Tuple[List[Optional[int]], flo
     finite = [abs(c) for row in cost for c in row if c != INFEASIBLE]
     big = (max(finite) if finite else 1.0) * (n + 1) + 1.0
     a = [[big if c == INFEASIBLE else float(c) for c in row] for row in cost]
+
+    _PATHS.value += n
 
     # Potentials and matching arrays use 1-based internal indexing (the
     # classic formulation); p[0] tracks the row being inserted.

@@ -1,0 +1,68 @@
+"""Observability: span tracing, metrics and exporters (zero dependencies).
+
+The package instruments the platform → engine → algorithm stack without
+perturbing it:
+
+* :class:`Tracer` / :class:`Span` — nested, thread-safe wall-clock spans
+  with a context-manager and decorator API.  Disabled tracers (including
+  the shared :data:`NULL_TRACER` default) return one preallocated no-op
+  span per call, so un-traced hot paths stay unmeasurably close to free.
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (fixed log-scale latency buckets) and labeled
+  families.  :data:`REGISTRY` is the process-wide default; the engine's
+  per-run counters live in private registries.
+* Exporters — JSONL trace/metrics dumps with schema validation, the
+  Prometheus text exposition format, and the ``--profile`` latency table
+  (:meth:`Tracer.summary`).
+
+Timing is observational only: reports stay bit-identical with tracing on
+or off.
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    metrics_records,
+    prometheus_text,
+    read_jsonl,
+    span_records,
+    validate_metrics_records,
+    validate_trace_records,
+    write_metrics_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "REGISTRY",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "metrics_records",
+    "prometheus_text",
+    "read_jsonl",
+    "set_tracer",
+    "span_records",
+    "validate_metrics_records",
+    "validate_trace_records",
+    "write_metrics_jsonl",
+    "write_trace_jsonl",
+]

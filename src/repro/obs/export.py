@@ -1,0 +1,201 @@
+"""Exporters: JSONL traces/metrics, Prometheus text exposition, validation.
+
+Two machine-readable formats plus one human-readable one:
+
+* **JSONL** — one JSON object per line.  Trace files hold ``span`` records;
+  metrics files hold ``counter`` / ``gauge`` / ``histogram`` records.  Both
+  carry a ``schema`` header line so CI can validate files without guessing
+  (:func:`validate_trace_records` / :func:`validate_metrics_records`).
+* **Prometheus text exposition** (:func:`prometheus_text`) — scrape-ready
+  ``# HELP`` / ``# TYPE`` / sample lines, histograms as cumulative
+  ``_bucket{le=...}`` series.
+* The per-phase latency table itself lives on
+  :meth:`repro.obs.trace.Tracer.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Schema tags written as the first line of each JSONL file.
+TRACE_SCHEMA = "repro.obs/trace/v1"
+METRICS_SCHEMA = "repro.obs/metrics/v1"
+
+
+# -- traces ---------------------------------------------------------------------------
+
+
+def span_records(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Finished spans as JSON-ready dicts (completion order)."""
+    records: List[Dict[str, Any]] = []
+    for span in tracer.finished:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start_s": span.start,
+            "duration_ms": span.duration * 1e3,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        records.append(record)
+    return records
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Dump the tracer's finished spans to a JSONL file.
+
+    Returns the number of span records written (excluding the header).
+    """
+    records = span_records(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "header", "schema": TRACE_SCHEMA}) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def validate_trace_records(records: Sequence[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless ``records`` is a valid v1 trace dump."""
+    if not records:
+        raise ValueError("empty trace file (expected at least a header line)")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(f"bad trace header: {header!r}")
+    ids = set()
+    for record in records[1:]:
+        if record.get("type") != "span":
+            raise ValueError(f"unexpected record type: {record!r}")
+        for key, kinds in (
+            ("id", int), ("name", str), ("start_s", (int, float)),
+            ("duration_ms", (int, float)),
+        ):
+            if not isinstance(record.get(key), kinds):
+                raise ValueError(f"span record missing/invalid {key!r}: {record!r}")
+        if record["duration_ms"] < 0.0:
+            raise ValueError(f"negative span duration: {record!r}")
+        parent = record.get("parent")
+        if parent is not None and not isinstance(parent, int):
+            raise ValueError(f"span parent must be an id or null: {record!r}")
+        ids.add(record["id"])
+    for record in records[1:]:
+        # Children finish before parents, so a non-null parent id must refer
+        # to some span in the same dump (open parents are the one exception,
+        # which a complete run never leaves behind).
+        parent = record.get("parent")
+        if parent is not None and parent not in ids:
+            raise ValueError(f"span {record['id']} references unknown parent {parent}")
+
+
+# -- metrics --------------------------------------------------------------------------
+
+
+def _bound_repr(bound: float) -> Any:
+    return "+Inf" if math.isinf(bound) else bound
+
+
+def metrics_records(*registries: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Every metric of every registry as JSON-ready dicts."""
+    records: List[Dict[str, Any]] = []
+    for registry in registries:
+        for metric in registry.collect():
+            record: Dict[str, Any] = {
+                "type": metric.kind,
+                "name": metric.name,
+                "labels": metric.labels,
+            }
+            if isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["buckets"] = [
+                    [_bound_repr(bound), count] for bound, count in metric.bucket_counts()
+                ]
+            else:
+                record["value"] = metric.value
+            records.append(record)
+    return records
+
+
+def write_metrics_jsonl(path: str, *registries: MetricsRegistry) -> int:
+    """Dump the registries' metrics to a JSONL file.
+
+    Returns the number of metric records written (excluding the header).
+    """
+    records = metrics_records(*registries)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "header", "schema": METRICS_SCHEMA}) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def validate_metrics_records(records: Sequence[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless ``records`` is a valid v1 metrics dump."""
+    if not records:
+        raise ValueError("empty metrics file (expected at least a header line)")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != METRICS_SCHEMA:
+        raise ValueError(f"bad metrics header: {header!r}")
+    for record in records[1:]:
+        kind = record.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unexpected record type: {record!r}")
+        if not isinstance(record.get("name"), str) or not isinstance(
+            record.get("labels"), dict
+        ):
+            raise ValueError(f"metric record missing name/labels: {record!r}")
+        if kind == "histogram":
+            if not isinstance(record.get("buckets"), list):
+                raise ValueError(f"histogram record missing buckets: {record!r}")
+        elif not isinstance(record.get("value"), (int, float)):
+            raise ValueError(f"metric record missing value: {record!r}")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL file back into a list of records."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Prometheus text exposition -------------------------------------------------------
+
+
+def _format_labels(labels: Dict[str, str], extra: Iterable[str] = ()) -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    parts.extend(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(*registries: MetricsRegistry) -> str:
+    """The registries' metrics in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers = set()
+    for registry in registries:
+        for metric in registry.collect():
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, count in metric.bucket_counts():
+                    le = _format_labels(metric.labels, (f'le="{_bound_repr(bound)}"',))
+                    lines.append(f"{metric.name}_bucket{le} {count}")
+                suffix = _format_labels(metric.labels)
+                lines.append(f"{metric.name}_sum{suffix} {metric.sum}")
+                lines.append(f"{metric.name}_count{suffix} {metric.count}")
+            else:
+                suffix = _format_labels(metric.labels)
+                lines.append(f"{metric.name}{suffix} {metric.value}")
+    return "\n".join(lines) + "\n"

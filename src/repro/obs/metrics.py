@@ -1,0 +1,255 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The shape follows the Prometheus client model — named metric families, an
+optional fixed label set, one child per label-value combination — but stays
+deliberately tiny: a metric is a Python object with a ``value`` (or bucket
+``counts``) that hot paths mutate directly, and the registry is a dict that
+exporters iterate.  Nothing here touches the clock or any RNG, so recording
+metrics cannot perturb simulation results.
+
+``Counter.value`` is a plain attribute on purpose: the engine's façade
+(:class:`repro.engine.counters.EngineCounters`) reads and writes it in hot
+loops, and a method call per increment would be measurable there.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Log-scale latency bucket upper bounds, in seconds: 1µs … ~67s in powers
+#: of 4, a span that covers everything from a single cache probe to a full
+#: platform run at ~2 buckets per decade.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4.0 ** i for i in range(14))
+
+
+class Counter:
+    """A monotonically-increasing total (decrements are not enforced)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (pool sizes, cache entries)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed upper bounds.
+
+    Args:
+        buckets: ascending finite upper bounds; an implicit ``+inf`` bucket
+            is always appended.  Defaults to the log-scale latency ladder
+            :data:`DEFAULT_LATENCY_BUCKETS`.
+
+    Buckets use Prometheus ``le`` semantics: an observation lands in the
+    first bucket whose upper bound is **>=** the value, so observing exactly
+    an edge counts into that edge's bucket.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly ascending, got {bounds}")
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing slot is +inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at ``inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """A labeled metric family: one child per label-value combination."""
+
+    def __init__(self, registry: "MetricsRegistry", factory, name: str, help: str, label_names: Tuple[str, ...], **kwargs) -> None:
+        self._registry = registry
+        self._factory = factory
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._kwargs = kwargs
+        self._children: Dict[Tuple[str, ...], Metric] = {}
+
+    def labels(self, **labels: str) -> Metric:
+        """The child metric for this label-value combination (created once)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._factory(
+                self.name, self.help, labels=dict(zip(self.label_names, key)), **self._kwargs
+            )
+            self._children[key] = child
+        return child
+
+    def children(self) -> List[Metric]:
+        return list(self._children.values())
+
+
+class MetricsRegistry:
+    """Named metrics, created once and shared by name.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
+    for the same name returns the same object (mismatched kinds raise), so
+    independent modules can share totals without passing handles around.
+    Passing ``labels=("approach", ...)`` creates a family whose children are
+    reached via ``family.labels(approach="Greedy")``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Metric, _Family]] = {}
+
+    # -- get-or-create -----------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Union[Counter, _Family]:
+        return self._get_or_create(Counter, name, help, tuple(labels))
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Union[Gauge, _Family]:
+        return self._get_or_create(Gauge, name, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        labels: Sequence[str] = (),
+    ) -> Union[Histogram, _Family]:
+        return self._get_or_create(Histogram, name, help, tuple(labels), buckets=buckets)
+
+    def _get_or_create(self, factory, name: str, help: str, label_names: Tuple[str, ...], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            expected = factory.kind if not label_names else "family"
+            actual = getattr(existing, "kind", "family")
+            if (actual == "family") != bool(label_names) or (
+                not label_names and actual != factory.kind
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered as {actual}, requested {expected}"
+                )
+            return existing
+        if label_names:
+            metric: Union[Metric, _Family] = _Family(self, factory, name, help, label_names, **kwargs)
+        else:
+            metric = factory(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    # -- reading -----------------------------------------------------------------
+
+    def collect(self) -> Iterable[Metric]:
+        """Every concrete metric (family children flattened), name-ordered."""
+        for name in sorted(self._metrics):
+            entry = self._metrics[name]
+            if isinstance(entry, _Family):
+                for child in entry.children():
+                    yield child
+            else:
+                yield entry
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scalar snapshot: counters/gauges by name (histograms as ``_count``/``_sum``)."""
+        out: Dict[str, float] = {}
+        for metric in self.collect():
+            suffix = "".join(
+                f"{{{k}={v}}}" for k, v in sorted(metric.labels.items())
+            )
+            if isinstance(metric, Histogram):
+                out[f"{metric.name}{suffix}_count"] = float(metric.count)
+                out[f"{metric.name}{suffix}_sum"] = float(metric.sum)
+            else:
+                out[f"{metric.name}{suffix}"] = float(metric.value)
+        return out
+
+    def clear(self) -> None:
+        """Forget every registered metric (mostly for tests)."""
+        self._metrics.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+#: Process-wide default registry: substrate-level totals (e.g. the matching
+#: algorithms' augmenting-path counters) accumulate here.  Per-run metrics —
+#: the engine's counters — live in private registries instead, so one run's
+#: totals can never bleed into another's ``engine_stats``.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY

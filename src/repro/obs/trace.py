@@ -1,0 +1,278 @@
+"""A zero-dependency span tracer.
+
+A :class:`Span` is one timed region of code — a batch, a feasibility
+rebuild, one allocator invocation — with a name, a monotonic start/end
+timestamp (``time.perf_counter``), an optional attribute dict and a parent
+link, so nested regions form a per-thread tree.  A :class:`Tracer` hands
+out spans through a context-manager (or decorator) API and collects the
+finished ones for export.
+
+Two properties matter more than features:
+
+* **Disabled mode is free.**  ``Tracer(enabled=False)`` (and the shared
+  :data:`NULL_TRACER`) return one preallocated no-op span from every
+  ``span()`` call — no object, dict or closure is allocated per call, so
+  instrumented hot paths cost a method call and an ``if``.
+* **Timing never leaks into results.**  Spans record durations and
+  caller-supplied attributes only; nothing in this module feeds back into
+  allocation decisions, so simulation reports are bit-identical with
+  tracing on or off (pinned by ``tests/obs/test_platform_tracing.py``).
+
+Thread safety: each thread keeps its own open-span stack (``threading.local``)
+while the finished-span list is guarded by a lock, so concurrent harness
+runs may share one tracer.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed region.  Use as a context manager via :meth:`Tracer.span`.
+
+    Attributes:
+        name: the region's label, e.g. ``"platform.batch"``.
+        span_id: tracer-unique integer id.
+        parent_id: enclosing span's id, or None at the root.
+        start / end: ``perf_counter`` timestamps (``end`` is None while open).
+        attrs: caller-supplied attributes (None until one is set).
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.attrs = dict(attrs) if attrs else None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute (creates the dict lazily)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        self._tracer._pop(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"duration={self.duration:.6f}s)"
+        )
+
+
+class _NoopSpan:
+    """The do-nothing span a disabled tracer hands out (one shared instance)."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = -1
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attrs: Optional[Dict[str, Any]] = None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NoopSpan()"
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans.  Disabled tracers are shared-instance no-ops.
+
+    Args:
+        enabled: when False every :meth:`span` call returns the same
+            preallocated no-op span; nothing is recorded and nothing is
+            allocated per call.
+
+    Finished spans accumulate in :attr:`finished` (in completion order,
+    children before their parent) until :meth:`clear`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.finished: List[Span] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- producing spans ---------------------------------------------------------
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        """A context manager timing the enclosed block as one span.
+
+        ``attrs`` (copied when provided) seeds the span's attribute dict;
+        further attributes can be attached with :meth:`Span.set` inside the
+        block.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, next(self._ids), self._current_id(), attrs)
+
+    def trace(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: time every call of the function as one span."""
+
+        def decorate(func: Callable) -> Callable:
+            label = name if name is not None else func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                with self.span(label):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- reading results ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        with self._lock:
+            self.finished.clear()
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals over the finished spans.
+
+        Returns:
+            ``{name: {"count", "total_s", "mean_s", "min_s", "max_s"}}``,
+            insertion-ordered by first completion.
+        """
+        with self._lock:
+            spans = list(self.finished)
+        out: Dict[str, Dict[str, float]] = {}
+        for span in spans:
+            d = span.duration
+            row = out.get(span.name)
+            if row is None:
+                out[span.name] = {
+                    "count": 1.0, "total_s": d, "mean_s": d, "min_s": d, "max_s": d,
+                }
+            else:
+                row["count"] += 1.0
+                row["total_s"] += d
+                if d < row["min_s"]:
+                    row["min_s"] = d
+                if d > row["max_s"]:
+                    row["max_s"] = d
+        for row in out.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return out
+
+    def summary(self) -> str:
+        """The per-phase latency table (what ``--profile`` prints)."""
+        rows = self.aggregate()
+        if not rows:
+            return "no spans recorded"
+        name_width = max(len("span"), max(len(name) for name in rows))
+        header = (
+            f"{'span':<{name_width}}  {'count':>7}  {'total ms':>10}  "
+            f"{'mean ms':>10}  {'min ms':>10}  {'max ms':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, row in sorted(rows.items(), key=lambda kv: -kv[1]["total_s"]):
+            lines.append(
+                f"{name:<{name_width}}  {int(row['count']):>7}  "
+                f"{row['total_s'] * 1e3:>10.3f}  {row['mean_s'] * 1e3:>10.3f}  "
+                f"{row['min_s'] * 1e3:>10.3f}  {row['max_s'] * 1e3:>10.3f}"
+            )
+        return "\n".join(lines)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Exiting out of order (generators, leaked spans) still unwinds safely.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        with self._lock:
+            self.finished.append(span)
+
+    def __repr__(self) -> str:
+        return f"Tracer(enabled={self.enabled}, finished={len(self.finished)})"
+
+
+#: The shared always-disabled tracer: instrumentation hooks default to it so
+#: un-traced hot paths pay only a no-op method call.
+NULL_TRACER = Tracer(enabled=False)
+
+_default_tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (``NULL_TRACER`` unless set)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install the process-wide default tracer (None restores the null one).
+
+    Returns the previous default so callers can restore it::
+
+        previous = set_tracer(my_tracer)
+        try:
+            run_experiment("fig7")
+        finally:
+            set_tracer(previous)
+    """
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous

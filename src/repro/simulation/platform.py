@@ -22,6 +22,8 @@ from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
 from repro.core.worker import Worker
 from repro.engine.engine import AllocationEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer
 from repro.simulation.events import Event, EventKind, EventLog
 from repro.simulation.stats import BatchRecord, SimulationReport
 
@@ -65,8 +67,17 @@ class Platform:
             feasibility + distance caching).  Disabling it falls back to the
             historic fresh-rebuild-per-batch path; both produce bit-identical
             reports.
+        tracer: span tracer profiling each batch's phases (snapshot →
+            feasibility → match → commit).  None uses the process default
+            (:func:`repro.obs.trace.get_tracer`), a no-op unless installed.
+        metrics: registry receiving platform latency histograms and the
+            engine's counters/gauges.  None keeps the engine's metrics in a
+            private registry, exposed after the run as
+            :attr:`metrics_registry`.
 
-    The simulation is deterministic given a deterministic allocator.
+    The simulation is deterministic given a deterministic allocator; the
+    tracer and metrics record timings only and never feed back into the
+    report, so runs are bit-identical with profiling on or off.
     """
 
     def __init__(
@@ -77,6 +88,8 @@ class Platform:
         rejoin: RejoinPolicy = RejoinPolicy.REMAINING,
         event_log: Optional[EventLog] = None,
         use_engine: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
@@ -86,6 +99,19 @@ class Platform:
         self.rejoin = rejoin
         self.event_log = event_log
         self.use_engine = use_engine
+        self.tracer = tracer
+        self.metrics = metrics
+        self._metrics_registry: Optional[MetricsRegistry] = metrics
+
+    @property
+    def metrics_registry(self) -> Optional[MetricsRegistry]:
+        """Where this platform's metrics ended up.
+
+        The ``metrics`` constructor argument when given; otherwise the
+        engine's private registry after a :meth:`run` on the engine path,
+        else None.
+        """
+        return self._metrics_registry
 
     def run(self) -> SimulationReport:
         """Simulate the whole horizon and return the aggregate report."""
@@ -95,13 +121,27 @@ class Platform:
             report.expired_tasks = sorted(t.id for t in instance.tasks)
             return report
 
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         # Pool state.  ``pool`` holds the *current* Worker records (a rejoined
         # worker is a relocated copy); ``busy`` tracks in-flight service.
         pool: Dict[int, Worker] = {w.id: w for w in instance.workers}
         busy: Dict[int, _BusyWorker] = {}
         assigned_tasks: Set[int] = set()
         open_task_ids = {t.id for t in instance.tasks}
-        engine = AllocationEngine(instance) if self.use_engine else None
+        engine = (
+            AllocationEngine(instance, tracer=tracer, registry=self.metrics)
+            if self.use_engine
+            else None
+        )
+        if engine is not None:
+            self._metrics_registry = engine.registry
+        batch_seconds = (
+            self._metrics_registry.histogram(
+                "platform_batch_seconds", "allocator wall-clock seconds per batch"
+            )
+            if self._metrics_registry is not None
+            else None
+        )
 
         # Batches fire at start, start + interval, ... and once more exactly
         # at the horizon, so nothing alive can slip between the last regular
@@ -111,53 +151,67 @@ class Platform:
         batches = max(1, math.ceil((horizon - start) / self.batch_interval))
         for index in range(batches + 1):
             now = min(start + index * self.batch_interval, horizon)
-            self._release_finished(pool, busy, now)
-            workers = [w for w in pool.values() if w.active_at(now)]
-            tasks = [
-                instance.task(tid)
-                for tid in open_task_ids
-                if instance.task(tid).active_at(now)
-            ]
-            if workers and tasks:
-                if engine is not None:
-                    context = engine.begin_batch(
-                        workers, tasks, now, frozenset(assigned_tasks)
-                    )
-                    outcome = self.allocator.allocate(context)
-                else:
-                    outcome = self.allocator.allocate(
-                        workers, tasks, instance, now, frozenset(assigned_tasks)
-                    )
-                self._execute(
-                    outcome, pool, busy, assigned_tasks, open_task_ids, now, report,
-                    batch_index=index,
-                )
-                record = BatchRecord(
-                    index=index,
-                    time=now,
-                    available_workers=len(workers),
-                    open_tasks=len(tasks),
-                    score=outcome.score,
-                    elapsed=outcome.elapsed,
-                )
-            else:
-                record = BatchRecord(index, now, len(workers), len(tasks), 0, 0.0)
-            report.batches.append(record)
-            # Expire tasks whose deadline has now passed.
-            still_open = {
-                tid for tid in open_task_ids if instance.task(tid).deadline > now
-            }
-            if self.event_log is not None:
-                for tid in open_task_ids - still_open:
-                    self.event_log.record(
-                        Event(
-                            time=instance.task(tid).deadline,
-                            kind=EventKind.EXPIRE,
-                            task_id=tid,
-                            batch_index=index,
+            with tracer.span("platform.batch") as batch_span:
+                with tracer.span("platform.snapshot"):
+                    self._release_finished(pool, busy, now)
+                    workers = [w for w in pool.values() if w.active_at(now)]
+                    tasks = [
+                        instance.task(tid)
+                        for tid in open_task_ids
+                        if instance.task(tid).active_at(now)
+                    ]
+                if workers and tasks:
+                    if engine is not None:
+                        with tracer.span("platform.feasibility"):
+                            context = engine.begin_batch(
+                                workers, tasks, now, frozenset(assigned_tasks)
+                            )
+                        with tracer.span("platform.match"):
+                            outcome = self.allocator.allocate(context)
+                    else:
+                        with tracer.span("platform.match"):
+                            outcome = self.allocator.allocate(
+                                workers, tasks, instance, now, frozenset(assigned_tasks)
+                            )
+                    with tracer.span("platform.commit"):
+                        self._execute(
+                            outcome, pool, busy, assigned_tasks, open_task_ids, now,
+                            report, batch_index=index,
                         )
+                    record = BatchRecord(
+                        index=index,
+                        time=now,
+                        available_workers=len(workers),
+                        open_tasks=len(tasks),
+                        score=outcome.score,
+                        elapsed=outcome.elapsed,
                     )
-            open_task_ids = still_open
+                    if batch_seconds is not None:
+                        batch_seconds.observe(outcome.elapsed)
+                else:
+                    record = BatchRecord(index, now, len(workers), len(tasks), 0, 0.0)
+                report.batches.append(record)
+                # Expire tasks whose deadline has now passed.
+                still_open = {
+                    tid for tid in open_task_ids if instance.task(tid).deadline > now
+                }
+                if self.event_log is not None:
+                    for tid in open_task_ids - still_open:
+                        self.event_log.record(
+                            Event(
+                                time=instance.task(tid).deadline,
+                                kind=EventKind.EXPIRE,
+                                task_id=tid,
+                                batch_index=index,
+                            )
+                        )
+                open_task_ids = still_open
+                if tracer.enabled:
+                    batch_span.set("index", index)
+                    batch_span.set("now", now)
+                    batch_span.set("workers", record.available_workers)
+                    batch_span.set("tasks", record.open_tasks)
+                    batch_span.set("score", record.score)
             if now >= horizon:
                 break
         if self.event_log is not None:

@@ -16,7 +16,7 @@ wrapped metric.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.spatial.distance import DistanceMetric, Point
 
@@ -27,20 +27,31 @@ class CachedMetric(DistanceMetric):
     Args:
         base: the metric to wrap.  Wrapping an already-cached metric reuses
             its underlying base rather than stacking caches.
+        maxsize: optional entry bound.  When full, inserting evicts the
+            oldest entry (FIFO — insertion order, which for the engine's
+            access pattern approximates staleness: old entries belong to
+            departed workers and assigned tasks).  None keeps the historic
+            unbounded behaviour.
 
     Keys are directional (``(a, b)`` and ``(b, a)`` are distinct entries) so
     the wrapper stays correct for asymmetric metrics such as one-way road
-    networks.
+    networks.  Eviction affects only which repeats are dict hits, never the
+    returned values, so bounded and unbounded caches are interchangeable
+    for correctness.
     """
 
-    def __init__(self, base: DistanceMetric) -> None:
+    def __init__(self, base: DistanceMetric, maxsize: Optional[int] = None) -> None:
         if isinstance(base, CachedMetric):
             base = base.base
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
         self.base = base
         self.name = base.name
         self.euclidean_lower_bound = base.euclidean_lower_bound
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._cache: Dict[Tuple[Point, Point], float] = {}
 
     def __call__(self, a: Point, b: Point) -> float:
@@ -51,6 +62,9 @@ class CachedMetric(DistanceMetric):
             return cached
         self.misses += 1
         value = self.base(a, b)
+        if self.maxsize is not None and len(self._cache) >= self.maxsize:
+            del self._cache[next(iter(self._cache))]
+            self.evictions += 1
         self._cache[key] = value
         return value
 
@@ -69,5 +83,5 @@ class CachedMetric(DistanceMetric):
     def __repr__(self) -> str:
         return (
             f"CachedMetric({self.base!r}, entries={len(self._cache)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )

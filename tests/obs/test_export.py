@@ -1,0 +1,131 @@
+"""Exporter tests: JSONL round-trips, validators, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    metrics_records,
+    prometheus_text,
+    read_jsonl,
+    span_records,
+    validate_metrics_records,
+    validate_trace_records,
+    write_metrics_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _traced_tracer():
+    tracer = Tracer()
+    with tracer.span("outer", {"k": "v"}):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+def _filled_registry():
+    reg = MetricsRegistry()
+    reg.counter("hits", "help text").inc(3)
+    reg.gauge("size").set(12)
+    reg.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+    family = reg.counter("per_approach", labels=("approach",))
+    family.labels(approach="Greedy").inc()
+    return reg
+
+
+class TestTraceJsonl:
+    def test_round_trip_validates(self, tmp_path):
+        tracer = _traced_tracer()
+        path = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(tracer, str(path))
+        records = read_jsonl(str(path))
+        assert written == 2
+        assert records[0] == {"type": "header", "schema": TRACE_SCHEMA}
+        validate_trace_records(records)  # must not raise
+
+    def test_round_trip_preserves_structure(self, tmp_path):
+        tracer = _traced_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, str(path))
+        spans = {r["name"]: r for r in read_jsonl(str(path))[1:]}
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+        assert spans["outer"]["attrs"] == {"k": "v"}
+
+    def test_validator_rejects_missing_header(self):
+        records = span_records(_traced_tracer())
+        with pytest.raises(ValueError, match="header"):
+            validate_trace_records(records)
+
+    def test_validator_rejects_unknown_parent(self):
+        tracer = _traced_tracer()
+        records = [{"type": "header", "schema": TRACE_SCHEMA}] + span_records(tracer)
+        records[1]["parent"] = 999
+        with pytest.raises(ValueError, match="unknown parent"):
+            validate_trace_records(records)
+
+    def test_validator_rejects_negative_duration(self):
+        records = [
+            {"type": "header", "schema": TRACE_SCHEMA},
+            {"type": "span", "id": 1, "parent": None, "name": "x",
+             "start_s": 0.0, "duration_ms": -1.0},
+        ]
+        with pytest.raises(ValueError, match="negative"):
+            validate_trace_records(records)
+
+
+class TestMetricsJsonl:
+    def test_round_trip_validates(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        written = write_metrics_jsonl(str(path), _filled_registry())
+        records = read_jsonl(str(path))
+        assert written == 4
+        assert records[0]["schema"] == METRICS_SCHEMA
+        validate_metrics_records(records)  # must not raise
+
+    def test_histogram_record_has_cumulative_buckets(self):
+        records = metrics_records(_filled_registry())
+        hist = next(r for r in records if r["type"] == "histogram")
+        assert hist["buckets"] == [[1.0, 1], [10.0, 1], ["+Inf", 1]]
+        assert hist["count"] == 1
+        # +Inf survives a JSON round-trip (it is a string, not a float)
+        assert json.loads(json.dumps(hist))["buckets"][-1][0] == "+Inf"
+
+    def test_merges_multiple_registries(self, tmp_path):
+        other = MetricsRegistry()
+        other.counter("extra").inc()
+        path = tmp_path / "metrics.jsonl"
+        written = write_metrics_jsonl(str(path), _filled_registry(), other)
+        names = {r["name"] for r in read_jsonl(str(path))[1:]}
+        assert written == 5
+        assert "extra" in names
+
+    def test_validator_rejects_valueless_counter(self):
+        records = [
+            {"type": "header", "schema": METRICS_SCHEMA},
+            {"type": "counter", "name": "x", "labels": {}},
+        ]
+        with pytest.raises(ValueError, match="value"):
+            validate_metrics_records(records)
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        text = prometheus_text(_filled_registry())
+        assert "# HELP hits help text" in text
+        assert "# TYPE hits counter" in text
+        assert "hits 3.0" in text
+        assert "size 12.0" in text
+        assert 'per_approach{approach="Greedy"} 1.0' in text
+
+    def test_histogram_series(self):
+        text = prometheus_text(_filled_registry())
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.5" in text
+        assert "lat_count 1" in text

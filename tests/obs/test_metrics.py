@@ -1,0 +1,109 @@
+"""Metrics registry tests: counters, gauges, histogram edges, families."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_inc(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("pool")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_observation_on_edge_lands_in_that_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        h.observe(10.0)  # exactly an upper bound: le semantics
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_observation_just_above_edge_lands_in_next_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        h.observe(10.000001)
+        assert h.counts == [0, 0, 1, 0]
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1e9)
+        assert h.counts == [0, 0, 1]
+        assert h.bucket_counts()[-1] == (float("inf"), 1)
+
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            h.observe(value)
+        assert h.bucket_counts() == [
+            (1.0, 1), (10.0, 3), (100.0, 4), (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == pytest.approx(60.5)
+
+    def test_default_buckets_are_log_scale(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert bounds[0] == pytest.approx(1e-6)
+        ratios = {bounds[i + 1] / bounds[i] for i in range(len(bounds) - 1)}
+        assert all(r == pytest.approx(4.0) for r in ratios)
+        assert bounds[-1] > 60.0  # covers a full platform run
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_labeled_family_children(self):
+        reg = MetricsRegistry()
+        family = reg.counter("score", labels=("approach",))
+        family.labels(approach="Greedy").inc(3)
+        family.labels(approach="Game").inc(5)
+        assert family.labels(approach="Greedy").value == 3.0
+        assert {m.labels["approach"] for m in reg.collect()} == {"Greedy", "Game"}
+
+    def test_family_rejects_wrong_label_names(self):
+        reg = MetricsRegistry()
+        family = reg.gauge("g", labels=("a",))
+        with pytest.raises(ValueError):
+            family.labels(b="x")
+
+    def test_as_dict_scalars_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        snapshot = reg.as_dict()
+        assert snapshot["c"] == 2.0
+        assert snapshot["g"] == 7.0
+        assert snapshot["h_count"] == 1.0
+        assert snapshot["h_sum"] == 0.5
+
+    def test_collect_is_name_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.counter("aa")
+        assert [m.name for m in reg.collect()] == ["aa", "zz"]

@@ -1,0 +1,190 @@
+"""Tracer/span tests: nesting, reentrancy, no-op mode, default tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer, set_tracer
+
+
+class TestSpanBasics:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.end is not None
+        assert span.duration >= 0.0
+        assert tracer.finished == [span]
+
+    def test_attrs_seed_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", {"a": 1}) as span:
+            span.set("b", 2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_attrs_dict_is_copied(self):
+        tracer = Tracer()
+        seed = {"a": 1}
+        with tracer.span("work", seed) as span:
+            span.set("b", 2)
+        assert seed == {"a": 1}
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.finished
+        assert second.span_id > first.span_id
+
+
+class TestNesting:
+    def test_children_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        # children finish first
+        assert tracer.finished == [inner, outer]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("one") as one:
+                pass
+            with tracer.span("two") as two:
+                pass
+        assert one.parent_id == outer.span_id
+        assert two.parent_id == outer.span_id
+
+    def test_reentrant_recursion_nests(self):
+        tracer = Tracer()
+
+        @tracer.trace("fib")
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        assert fib(4) == 3
+        spans = [s for s in tracer.finished if s.name == "fib"]
+        assert len(spans) == 9  # fib(4) makes 9 calls
+        root = tracer.finished[-1]
+        assert root.parent_id is None
+        assert sum(1 for s in spans if s.parent_id == root.span_id) == 2
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.finished) == 1
+        assert tracer.finished[0].end is not None
+        # the stack unwound: a new span is a root again
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tracer.span(tag) as span:
+                seen[tag] = span
+
+        with tracer.span("main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # spans opened on other threads are roots there, not children of main
+        assert all(span.parent_id is None for span in seen.values())
+
+
+class TestNoopMode:
+    def test_disabled_span_is_shared_instance(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as span:
+            span.set("k", "v")
+        assert tracer.finished == []
+        assert span.attrs is None
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("x"):
+            pass
+        assert NULL_TRACER.finished == []
+
+    def test_disabled_decorator_passes_through(self):
+        tracer = Tracer(enabled=False)
+
+        @tracer.trace()
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert tracer.finished == []
+
+
+class TestAggregation:
+    def test_aggregate_counts_and_totals(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        with tracer.span("y"):
+            pass
+        agg = tracer.aggregate()
+        assert agg["x"]["count"] == 3.0
+        assert agg["y"]["count"] == 1.0
+        assert agg["x"]["total_s"] >= agg["x"]["max_s"]
+        assert agg["x"]["min_s"] <= agg["x"]["mean_s"] <= agg["x"]["max_s"]
+
+    def test_summary_lists_every_name(self):
+        tracer = Tracer()
+        with tracer.span("alpha"):
+            with tracer.span("beta"):
+                pass
+        text = tracer.summary()
+        assert "alpha" in text
+        assert "beta" in text
+        assert "count" in text
+
+    def test_summary_empty(self):
+        assert Tracer().summary() == "no spans recorded"
+
+    def test_clear_drops_finished(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished == []
+
+
+class TestDefaultTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_restore(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_set_none_restores_null(self):
+        previous = set_tracer(Tracer())
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        set_tracer(previous)

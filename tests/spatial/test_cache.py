@@ -1,0 +1,86 @@
+"""CachedMetric bounding tests: FIFO eviction never changes values."""
+
+import pytest
+
+from repro.spatial.cache import CachedMetric
+from repro.spatial.distance import EuclideanDistance
+
+
+def _points(n):
+    return [(float(i), 0.0) for i in range(n)]
+
+
+class TestUnbounded:
+    def test_default_is_unbounded(self):
+        metric = CachedMetric(EuclideanDistance())
+        origin = (0.0, 0.0)
+        for p in _points(100):
+            metric(origin, p)
+        assert metric.maxsize is None
+        assert len(metric) == 100
+        assert metric.evictions == 0
+
+    def test_hit_miss_counting(self):
+        metric = CachedMetric(EuclideanDistance())
+        a, b = (0.0, 0.0), (3.0, 4.0)
+        assert metric(a, b) == 5.0
+        assert metric(a, b) == 5.0
+        assert (metric.hits, metric.misses) == (1, 1)
+
+
+class TestBounded:
+    def test_size_never_exceeds_maxsize(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=8)
+        origin = (0.0, 0.0)
+        for p in _points(50):
+            metric(origin, p)
+        assert len(metric) == 8
+        assert metric.evictions == 42
+        assert metric.misses == 50
+
+    def test_fifo_evicts_oldest_first(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=2)
+        origin = (0.0, 0.0)
+        p0, p1, p2 = _points(3)
+        metric(origin, p0)
+        metric(origin, p1)
+        metric(origin, p2)  # evicts p0
+        metric(origin, p1)  # still cached
+        assert metric.hits == 1
+        metric(origin, p0)  # re-miss: was evicted
+        assert metric.misses == 4
+
+    def test_values_identical_to_unbounded(self):
+        base = EuclideanDistance()
+        bounded = CachedMetric(base, maxsize=3)
+        unbounded = CachedMetric(base)
+        pairs = [((float(i % 5), 1.0), (float(i % 7), 2.0)) for i in range(40)]
+        for a, b in pairs:
+            assert bounded(a, b) == unbounded(a, b) == base(a, b)
+
+    def test_eviction_keeps_counters(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=1)
+        origin = (0.0, 0.0)
+        for p in _points(3):
+            metric(origin, p)
+        assert "evictions=2" in repr(metric)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive_maxsize(self, bad):
+        with pytest.raises(ValueError):
+            CachedMetric(EuclideanDistance(), maxsize=bad)
+
+    def test_rewrapping_preserves_maxsize(self):
+        inner = CachedMetric(EuclideanDistance(), maxsize=4)
+        outer = CachedMetric(inner, maxsize=2)
+        assert outer.base is inner.base
+        assert outer.maxsize == 2
+
+    def test_clear_keeps_counters(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=4)
+        metric((0.0, 0.0), (1.0, 0.0))
+        metric.clear()
+        assert len(metric) == 0
+        assert metric.misses == 1
