@@ -28,13 +28,18 @@ def batch_instance():
     return generate_synthetic(SyntheticConfig(seed=3).scaled(0.06))  # 300x300
 
 
-@pytest.fixture(scope="module")
-def feasibility_dominated_instance():
+def make_feasibility_instance():
     """Long presence windows keep entities in the pool across many batches,
     so per-batch feasibility construction dominates the simulation — the
-    regime the allocation engine's incremental graph targets."""
+    regime the allocation engine's incremental graph targets.  Module-level
+    so ``check_perf_gate.py`` reruns the identical workload."""
     config = replace(SyntheticConfig(seed=3), waiting_time=Range(25.0, 35.0))
     return generate_synthetic(config.scaled(0.12))  # 600x600
+
+
+@pytest.fixture(scope="module")
+def feasibility_dominated_instance():
+    return make_feasibility_instance()
 
 
 def test_micro_hungarian_40x60(benchmark):
@@ -98,12 +103,13 @@ def test_micro_game_single_batch(benchmark, batch_instance):
     )
 
 
-def _platform_report(instance, use_engine, batch_interval=1.0):
+def _platform_report(instance, use_engine, batch_interval=1.0, n_jobs=1):
     return Platform(
         instance,
         ClosestBaseline(),
         batch_interval=batch_interval,
         use_engine=use_engine,
+        n_jobs=n_jobs,
     ).run()
 
 
@@ -117,17 +123,18 @@ _FEASIBILITY_CONFIG = {
     "instance": "synthetic seed=3 scale=0.12 waiting_time=25-35",
     "allocator": "Closest",
     "batch_interval": 1.0,
+    "n_jobs": 1,
 }
 
 
-def _record_platform_entry(record_bench_json, instance, use_engine, name):
+def _record_platform_entry(record_bench_json, instance, use_engine, name, n_jobs=1):
     """One extra measured run feeding the machine-readable perf trajectory."""
     started = time.perf_counter()
-    report = _platform_report(instance, use_engine)
+    report = _platform_report(instance, use_engine, n_jobs=n_jobs)
     wall_ms = (time.perf_counter() - started) * 1000.0
     record_bench_json(
         name,
-        dict(_FEASIBILITY_CONFIG, use_engine=use_engine),
+        dict(_FEASIBILITY_CONFIG, use_engine=use_engine, n_jobs=n_jobs),
         wall_ms,
         report.engine_stats,
     )
@@ -157,6 +164,50 @@ def test_micro_platform_legacy(
         record_bench_json, feasibility_dominated_instance, False,
         "micro_platform_legacy",
     )
+
+
+def test_micro_grid_query_radius(benchmark):
+    """The sqrt-free radius query — the hottest instruction stream in a
+    feasibility build (one query per worker row)."""
+    from repro.spatial.index import GridIndex
+
+    rng = random.Random(7)
+    index = GridIndex(cell_size=0.05)
+    index.insert_many(
+        (i, (rng.uniform(0, 1), rng.uniform(0, 1))) for i in range(2000)
+    )
+    centers = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(100)]
+
+    def query_all():
+        total = 0
+        for center in centers:
+            total += len(index.query_radius(center, 0.15))
+        return total
+
+    benchmark(query_all)
+
+
+def test_micro_grid_nearest(benchmark):
+    """Ring-walking nearest with the incremental occupied-bounds cutoff."""
+    from repro.spatial.index import GridIndex
+
+    rng = random.Random(8)
+    index = GridIndex(cell_size=0.05)
+    index.insert_many(
+        (i, (rng.uniform(0, 1), rng.uniform(0, 1))) for i in range(2000)
+    )
+    # Mix of interior centers (short walks) and far-out ones (bounds cutoff).
+    centers = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(80)]
+    centers += [(rng.uniform(3, 5), rng.uniform(3, 5)) for _ in range(20)]
+
+    def nearest_all():
+        found = 0
+        for center in centers:
+            if index.nearest(center) is not None:
+                found += 1
+        return found
+
+    benchmark(nearest_all)
 
 
 def test_micro_incremental_feasibility_churn(benchmark, batch_instance):

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the engine micro-benchmark.
+
+Reruns the feasibility-dominated platform workload behind
+``bench_micro_substrates.test_micro_platform_engine`` (best of a few
+rounds, to shave scheduler noise) and compares the wall-clock against the
+committed ``micro_platform_engine`` entry in ``results/BENCH_engine.json``.
+A run more than 25% slower than the committed baseline fails the gate; the
+fresh measurement is re-recorded either way so the trajectory file always
+carries the latest number.
+
+Exit codes: 0 pass (or no baseline yet), 1 regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_gate.py [--threshold 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+sys.path.insert(0, str(HERE))  # conftest + bench modules
+if str(HERE.parent / "src") not in sys.path:
+    sys.path.insert(0, str(HERE.parent / "src"))
+
+from bench_micro_substrates import (  # noqa: E402
+    _FEASIBILITY_CONFIG,
+    _platform_report,
+    make_feasibility_instance,
+)
+from conftest import BENCH_JSON, BENCH_SCHEMA, record_bench_entry  # noqa: E402
+
+ENTRY = "micro_platform_engine"
+ROUNDS = 3
+
+
+def _committed_baseline() -> float | None:
+    if not BENCH_JSON.exists():
+        return None
+    data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    if data.get("schema") != BENCH_SCHEMA:
+        return None
+    for entry in data.get("entries", []):
+        if entry["name"] == ENTRY:
+            return float(entry["wall_ms"])
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when wall_ms exceeds baseline * THRESHOLD (default 1.25)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS, help="measurement rounds (best wins)"
+    )
+    args = parser.parse_args(argv)
+
+    baseline_ms = _committed_baseline()
+    instance = make_feasibility_instance()
+
+    best_ms = float("inf")
+    counters: dict = {}
+    for round_index in range(max(1, args.rounds)):
+        started = time.perf_counter()
+        report = _platform_report(instance, use_engine=True)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        print(f"round {round_index + 1}: {wall_ms:.1f} ms")
+        if wall_ms < best_ms:
+            best_ms = wall_ms
+            counters = report.engine_stats
+
+    record_bench_entry(
+        ENTRY, dict(_FEASIBILITY_CONFIG, use_engine=True), best_ms, counters
+    )
+    if baseline_ms is None:
+        print(f"no committed baseline for {ENTRY!r}; recorded {best_ms:.1f} ms")
+        return 0
+
+    limit_ms = baseline_ms * args.threshold
+    verdict = "PASS" if best_ms <= limit_ms else "FAIL"
+    print(
+        f"{verdict}: {best_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
+        f"(limit {limit_ms:.1f} ms = x{args.threshold})"
+    )
+    return 0 if best_ms <= limit_ms else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=str, default=None, help="also write the table here")
     run.add_argument("--csv", type=str, default=None, help="export the raw points as CSV")
     run.add_argument("--plot", action="store_true", help="draw an ASCII chart of the scores")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep grid (1 = serial, -1 = all "
+        "CPUs); results are bit-identical to serial",
+    )
     _add_obs_arguments(run)
 
     gen = sub.add_parser("generate", help="generate an instance JSON")
@@ -60,6 +68,22 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--batch-interval", type=float, default=None, help="run the dynamic platform with this interval instead of a single batch")
     solve.add_argument("--no-engine", action="store_true", help="disable the shared allocation engine (fresh feasibility rebuild per batch)")
     solve.add_argument("--engine-stats", action="store_true", help="print the engine's counters after a platform run")
+    solve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the engine's chunked feasibility kernel "
+        "(platform runs only; 1 = serial, -1 = all CPUs)",
+    )
+    solve.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=None,
+        metavar="PAIRS",
+        help="minimum uncached pair count before a full build fans out "
+        "(default: engine heuristic; 0 forces the parallel kernel)",
+    )
     _add_obs_arguments(solve)
 
     return parser
@@ -124,7 +148,7 @@ def _obs_report(args: argparse.Namespace, tracer, *registries) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    kwargs = {"seed": args.seed}
+    kwargs = {"seed": args.seed, "n_jobs": args.jobs}
     if args.scale is not None:
         kwargs["scale"] = args.scale
     tracer = _obs_tracer(args)
@@ -202,6 +226,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             batch_interval=args.batch_interval,
             use_engine=not args.no_engine,
             tracer=tracer,
+            n_jobs=args.jobs,
+            parallel_threshold=args.parallel_threshold,
         )
         report = platform.run()
         metrics_registry = platform.metrics_registry

@@ -40,6 +40,8 @@ from repro.engine.context import BatchContext
 from repro.engine.counters import EngineCounters
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.parallel.feasibility import DEFAULT_PAIR_THRESHOLD, evaluate_pairs
+from repro.parallel.pool import resolve_jobs
 from repro.spatial.cache import CachedMetric
 from repro.spatial.index import GridIndex
 
@@ -61,6 +63,16 @@ class AllocationEngine:
             ``engine_stats`` can never merge across engines.
         cache_maxsize: optional bound on the distance cache (FIFO eviction);
             None keeps it unbounded.
+        n_jobs: worker processes for the chunked feasibility kernel used by
+            full builds (1 = serial, negative = all CPUs).  The graph, the
+            counters and the cache trajectory are bit-identical either way:
+            workers evaluate only pure pair distances, and the parent
+            replays the serial link sequence against the prefetched values
+            (see :meth:`~repro.spatial.cache.CachedMetric.preload`).
+        parallel_threshold: minimum number of unique uncached pairs before
+            a full build fans out; below it the fork/pickle round-trip
+            costs more than the evaluations.  None uses
+            :data:`~repro.parallel.feasibility.DEFAULT_PAIR_THRESHOLD`.
     """
 
     def __init__(
@@ -71,9 +83,15 @@ class AllocationEngine:
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
         cache_maxsize: Optional[int] = None,
+        n_jobs: int = 1,
+        parallel_threshold: Optional[int] = None,
     ) -> None:
         self.instance = instance
         self.metric = CachedMetric(instance.metric, maxsize=cache_maxsize)
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.parallel_threshold = (
+            DEFAULT_PAIR_THRESHOLD if parallel_threshold is None else parallel_threshold
+        )
         self.registry = registry if registry is not None else MetricsRegistry()
         self.counters = EngineCounters(self.registry)
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -177,8 +195,53 @@ class AllocationEngine:
             self._workers_of[task.id] = set()
         self._index = self._make_index(workers, tasks, now)
         latest = self._latest_deadline()
+        if self.n_jobs <= 1:
+            for worker in workers:
+                self._recompute_row(worker, latest, now)
+            return
+        # Chunked kernel: gather every candidate row first (index probes and
+        # pruning counters run exactly as in the serial path), fan the
+        # uncached pair distances across the pool, then replay the serial
+        # link sequence against the prefetched values — same graph, same
+        # edge order, same cache trajectory.
+        rows: List[Tuple[Worker, List[int]]] = []
         for worker in workers:
-            self._recompute_row(worker, latest, now)
+            self._install_row(worker)
+            rows.append((worker, self._candidates_for(worker, latest, now)))
+        self._prefetch_distances(rows)
+        try:
+            for worker, candidates in rows:
+                for task_id in candidates:
+                    self._link_check(worker, self._tasks[task_id], now)
+        finally:
+            self.metric.clear_preload()
+
+    def _prefetch_distances(self, rows: Sequence[Tuple[Worker, List[int]]]) -> None:
+        """Evaluate the build's unique uncached pair distances in parallel.
+
+        Only pairs the serial link loop would actually hand to the metric
+        (skill filter applied, cache probed) are shipped; below the
+        threshold the serial path wins and nothing is prefetched.
+        """
+        pairs: List[Tuple[Tuple[float, float], Tuple[float, float]]] = []
+        seen: Set[Tuple[Tuple[float, float], Tuple[float, float]]] = set()
+        for worker, candidates in rows:
+            skills = worker.skills
+            w_loc = worker.location
+            for task_id in candidates:
+                task = self._tasks[task_id]
+                if task.skill not in skills:
+                    continue
+                key = (w_loc, task.location)
+                if key in seen or key in self.metric:
+                    continue
+                seen.add(key)
+                pairs.append(key)
+        if len(pairs) < self.parallel_threshold:
+            return
+        self.metric.preload(
+            evaluate_pairs(self.metric.base, pairs, self.n_jobs, self.tracer)
+        )
 
     def _incremental_update(
         self, workers: Sequence[Worker], tasks: Sequence[Task], now: float
@@ -234,23 +297,30 @@ class AllocationEngine:
         for task_id in self._tasks_of.pop(worker_id):
             self._workers_of[task_id].discard(worker_id)
 
-    def _recompute_row(
-        self, worker: Worker, latest_deadline: float, now: float
-    ) -> None:
+    def _install_row(self, worker: Worker) -> None:
         if worker.id in self._workers:
             self._remove_worker(worker.id)
         self._workers[worker.id] = worker
         self._tasks_of[worker.id] = {}
         self.counters.worker_rows_recomputed += 1
+
+    def _candidates_for(
+        self, worker: Worker, latest_deadline: float, now: float
+    ) -> List[int]:
         if self._index is not None:
             span = reach_radius(worker, latest_deadline, now)
-            candidates: Iterable[int] = self._index.query_radius(worker.location, span)
-            candidates = list(candidates)
+            candidates = list(self._index.query_radius(worker.location, span))
             self.counters.pruned_by_index += len(self._tasks) - len(candidates)
         else:
             candidates = list(self._tasks)
         self.counters.pairs_checked += len(candidates)
-        for task_id in candidates:
+        return candidates
+
+    def _recompute_row(
+        self, worker: Worker, latest_deadline: float, now: float
+    ) -> None:
+        self._install_row(worker)
+        for task_id in self._candidates_for(worker, latest_deadline, now):
             self._link_check(worker, self._tasks[task_id], now)
 
     def _link_check(self, worker: Worker, task: Task, now: float) -> None:

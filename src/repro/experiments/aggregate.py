@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.experiments.harness import SweepResult
+from repro.parallel.pool import ordered_map, resolve_jobs
 
 
 @dataclass(frozen=True)
@@ -96,9 +97,15 @@ def aggregate_sweeps(results: Sequence[SweepResult], seeds: Sequence[int]) -> Ag
     return out
 
 
+def _replay(job: Tuple[Callable[..., SweepResult], int, Dict]) -> SweepResult:
+    runner, seed, kwargs = job
+    return runner(seed=seed, **kwargs)
+
+
 def run_repeated_sweep(
     runner: Callable[..., SweepResult],
     seeds: Sequence[int],
+    n_jobs: int = 1,
     **kwargs,
 ) -> AggregateResult:
     """Run a `repro.experiments.runner` function once per seed and average.
@@ -106,11 +113,20 @@ def run_repeated_sweep(
     Args:
         runner: e.g. ``run_fig7``.
         seeds: the seeds to use (also become the replication count).
+        n_jobs: fan the per-seed replications across a process pool
+            (1 = serial, negative = all CPUs).  Each replication is an
+            independent run, so the aggregate is identical either way.
         kwargs: forwarded to the runner (``scale``, ``approaches``, ...).
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [runner(seed=seed, **kwargs) for seed in seeds]
+    workers = resolve_jobs(n_jobs)
+    if workers > 1:
+        # The pool's worker processes must not spawn pools of their own
+        # (oversubscription at best, daemon-child errors at worst), so any
+        # runner-level fan-out is forced serial inside each replication.
+        kwargs = {**kwargs, "n_jobs": 1}
+    results = ordered_map(_replay, [(runner, seed, kwargs) for seed in seeds], workers)
     return aggregate_sweeps(results, seeds)
 
 

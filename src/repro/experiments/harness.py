@@ -8,7 +8,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.algorithms.base import BatchAllocator
 from repro.algorithms.registry import make_allocator
 from repro.core.instance import ProblemInstance
+from repro.obs.export import merge_metrics_records, metrics_records
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, get_tracer
+from repro.parallel.pool import resolve_jobs
 from repro.simulation.platform import Platform, run_single_batch
 
 
@@ -83,6 +86,47 @@ class SweepResult:
         return [self.point(label, approach).elapsed for label in self.labels]
 
 
+def _evaluate_one(
+    instance: ProblemInstance,
+    name: str,
+    allocator: Optional[BatchAllocator],
+    batch_interval: float,
+    seed: int,
+    single_batch: bool,
+    use_engine: bool,
+    tracer: Tracer,
+) -> Tuple[int, float, Optional[MetricsRegistry]]:
+    """One (instance, approach) measurement — the unit both the serial loop
+    and the parallel fan-out execute, so the two paths cannot drift.
+
+    Returns ``(score, elapsed, metrics registry)``; the registry is the
+    platform's per-run registry (None in the single-batch setting, which
+    runs no platform).
+    """
+    if allocator is None:
+        allocator = make_allocator(name, seed=seed)
+    registry: Optional[MetricsRegistry] = None
+    with tracer.span("harness.approach") as span:
+        if single_batch:
+            outcome = run_single_batch(instance, allocator)
+            score, elapsed = outcome.score, outcome.elapsed
+        else:
+            platform = Platform(
+                instance,
+                allocator,
+                batch_interval=batch_interval,
+                use_engine=use_engine,
+                tracer=tracer,
+            )
+            report = platform.run()
+            registry = platform.metrics_registry
+            score, elapsed = report.total_score, report.total_elapsed
+    if tracer.enabled:
+        span.set("approach", name)
+        span.set("score", score)
+    return score, elapsed, registry
+
+
 def evaluate_approaches(
     instance: ProblemInstance,
     approaches: Sequence[str],
@@ -92,6 +136,8 @@ def evaluate_approaches(
     allocators: Optional[Dict[str, BatchAllocator]] = None,
     use_engine: bool = True,
     tracer: Optional[Tracer] = None,
+    n_jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Tuple[int, float]]:
     """Run each named approach over the instance.
 
@@ -111,30 +157,46 @@ def evaluate_approaches(
             identical either way; this only affects running time).
         tracer: span tracer wrapping each approach's run (and, through the
             platform, every batch phase).  None uses the process default.
+        n_jobs: fan the approaches across a process pool (1 = serial,
+            negative = all CPUs).  Results are bit-identical either way;
+            approaches are independent runs.
+        metrics: optional registry collecting every run's platform/engine
+            metrics (merged per approach, in approach order).
 
     Returns:
         approach name -> ``(total score, total allocator seconds)``.
     """
     tracer = tracer if tracer is not None else get_tracer()
+    if resolve_jobs(n_jobs) > 1 and len(approaches) > 1:
+        from repro.parallel.sweep import evaluate_approaches_parallel
+
+        return evaluate_approaches_parallel(
+            instance,
+            approaches,
+            batch_interval,
+            seed,
+            single_batch,
+            allocators,
+            use_engine,
+            tracer,
+            n_jobs,
+            metrics,
+        )
     results: Dict[str, Tuple[int, float]] = {}
     for name in approaches:
-        allocator = (allocators or {}).get(name) or make_allocator(name, seed=seed)
-        with tracer.span("harness.approach") as span:
-            if single_batch:
-                outcome = run_single_batch(instance, allocator)
-                results[name] = (outcome.score, outcome.elapsed)
-            else:
-                report = Platform(
-                    instance,
-                    allocator,
-                    batch_interval=batch_interval,
-                    use_engine=use_engine,
-                    tracer=tracer,
-                ).run()
-                results[name] = (report.total_score, report.total_elapsed)
-        if tracer.enabled:
-            span.set("approach", name)
-            span.set("score", results[name][0])
+        score, elapsed, registry = _evaluate_one(
+            instance,
+            name,
+            (allocators or {}).get(name),
+            batch_interval,
+            seed,
+            single_batch,
+            use_engine,
+            tracer,
+        )
+        results[name] = (score, elapsed)
+        if metrics is not None and registry is not None:
+            merge_metrics_records(metrics, metrics_records(registry))
     return results
 
 
@@ -149,9 +211,33 @@ def run_sweep(
     single_batch: bool = False,
     use_engine: bool = True,
     tracer: Optional[Tracer] = None,
+    n_jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
-    """Evaluate ``approaches`` on ``make_instance(value)`` for each value."""
+    """Evaluate ``approaches`` on ``make_instance(value)`` for each value.
+
+    ``n_jobs > 1`` fans the (value, approach) grid across a process pool
+    via :func:`repro.parallel.sweep.sweep_cells`; the merged result is
+    bit-identical to the serial loop (same points, same order).
+    """
     tracer = tracer if tracer is not None else get_tracer()
+    if resolve_jobs(n_jobs) > 1:
+        from repro.parallel.sweep import sweep_cells
+
+        return sweep_cells(
+            name,
+            parameter,
+            values,
+            make_instance,
+            approaches,
+            batch_interval=batch_interval,
+            base_seed=seed,
+            single_batch=single_batch,
+            use_engine=use_engine,
+            n_jobs=n_jobs,
+            tracer=tracer,
+            metrics=metrics,
+        )[0]
     result = SweepResult(name=name, parameter=parameter)
     for value in values:
         with tracer.span("harness.sweep_value") as span:
@@ -164,6 +250,7 @@ def run_sweep(
                 single_batch=single_batch,
                 use_engine=use_engine,
                 tracer=tracer,
+                metrics=metrics,
             )
         if tracer.enabled:
             span.set("experiment", name)

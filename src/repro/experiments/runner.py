@@ -62,6 +62,7 @@ def _real_sweep(
     seed: int,
     approaches: Sequence[str],
     batch_interval: float,
+    n_jobs: int = 1,
 ) -> SweepResult:
     values = REAL_SWEEPS[parameter]
     return run_sweep(
@@ -72,6 +73,7 @@ def _real_sweep(
         approaches,
         batch_interval=batch_interval,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -82,6 +84,7 @@ def _synth_sweep(
     seed: int,
     approaches: Sequence[str],
     batch_interval: float,
+    n_jobs: int = 1,
 ) -> SweepResult:
     values = SYNTH_SWEEPS[parameter]
 
@@ -102,6 +105,7 @@ def _synth_sweep(
         approaches,
         batch_interval=batch_interval,
         seed=seed,
+        n_jobs=n_jobs,
     )
     return result
 
@@ -109,7 +113,7 @@ def _synth_sweep(
 # -- individual experiments ------------------------------------------------------------
 
 
-def run_table6(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepResult:
+def run_table6(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Table VI: small-scale comparison against the DFS optimum.
 
     ``scale`` shrinks the 20x40 small-scale population further if needed;
@@ -124,7 +128,9 @@ def run_table6(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> Sweep
     instance = generate_synthetic(config)
     names = list(approaches or (["DFS"] + APPROACH_NAMES))
     result = SweepResult(name="Table VI (small scale)", parameter="setting")
-    measured = evaluate_approaches(instance, names, seed=seed, single_batch=True)
+    measured = evaluate_approaches(
+        instance, names, seed=seed, single_batch=True, n_jobs=n_jobs
+    )
     for approach, (score, elapsed) in measured.items():
         result.points.append(SweepPoint("small-scale", approach, score, elapsed))
     return result
@@ -134,6 +140,8 @@ def run_fig2(
     seed: int = 7,
     scale: float = 1.0,
     thresholds: Optional[Sequence[float]] = None,
+    n_jobs: int = 1,  # accepted for interface uniformity; one approach per
+    # threshold leaves nothing to fan out here.
     **_,
 ) -> SweepResult:
     """Figure 2: effect of the game termination threshold (real data)."""
@@ -154,7 +162,7 @@ def run_fig2(
     return result
 
 
-def run_fig3(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepResult:
+def run_fig3(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 3: max moving distance range, real data."""
     return _real_sweep(
         "Figure 3 (real: max distance)",
@@ -163,10 +171,11 @@ def run_fig3(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         REAL_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig4(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepResult:
+def run_fig4(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 4: velocity range, real data."""
     return _real_sweep(
         "Figure 4 (real: velocity)",
@@ -175,10 +184,11 @@ def run_fig4(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         REAL_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig5(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepResult:
+def run_fig5(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 5: start-timestamp range, real data."""
     return _real_sweep(
         "Figure 5 (real: start time)",
@@ -187,10 +197,11 @@ def run_fig5(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         REAL_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig6(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepResult:
+def run_fig6(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 6: waiting-time range, real data."""
     return _real_sweep(
         "Figure 6 (real: waiting time)",
@@ -199,10 +210,11 @@ def run_fig6(seed: int = 7, scale: float = 1.0, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         REAL_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig7(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig7(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 7: dependency-set size range, synthetic data."""
     return _synth_sweep(
         "Figure 7 (synthetic: dependency size)",
@@ -211,10 +223,11 @@ def run_fig7(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig8(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig8(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 8: skill-universe size, synthetic data."""
     return _synth_sweep(
         "Figure 8 (synthetic: skill universe)",
@@ -223,10 +236,11 @@ def run_fig8(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig9(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig9(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 9: per-worker skill-set size range, synthetic data."""
     return _synth_sweep(
         "Figure 9 (synthetic: worker skills)",
@@ -235,10 +249,11 @@ def run_fig9(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepRe
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig10(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig10(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 10: number of tasks, synthetic data."""
     return _synth_sweep(
         "Figure 10 (synthetic: #tasks)",
@@ -247,10 +262,11 @@ def run_fig10(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig11(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig11(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 11: number of workers, synthetic data."""
     return _synth_sweep(
         "Figure 11 (synthetic: #workers)",
@@ -259,10 +275,11 @@ def run_fig11(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig12(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig12(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 12 (Appendix C): max moving distance range, synthetic data."""
     return _synth_sweep(
         "Figure 12 (synthetic: max distance)",
@@ -271,10 +288,11 @@ def run_fig12(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig13(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig13(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 13 (Appendix C): velocity range, synthetic data."""
     return _synth_sweep(
         "Figure 13 (synthetic: velocity)",
@@ -283,10 +301,11 @@ def run_fig13(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig14(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig14(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 14 (Appendix C): start-timestamp range, synthetic data."""
     return _synth_sweep(
         "Figure 14 (synthetic: start time)",
@@ -295,10 +314,11 @@ def run_fig14(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 
-def run_fig15(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepResult:
+def run_fig15(seed: int = 7, scale: float = 0.2, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
     """Figure 15 (Appendix C): waiting-time range, synthetic data."""
     return _synth_sweep(
         "Figure 15 (synthetic: waiting time)",
@@ -307,6 +327,7 @@ def run_fig15(seed: int = 7, scale: float = 0.2, approaches=None, **_) -> SweepR
         seed,
         approaches or APPROACH_NAMES,
         SYNTH_BATCH_INTERVAL,
+        n_jobs=n_jobs,
     )
 
 

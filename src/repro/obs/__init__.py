@@ -22,6 +22,7 @@ or off.
 from repro.obs.export import (
     METRICS_SCHEMA,
     TRACE_SCHEMA,
+    merge_metrics_records,
     metrics_records,
     prometheus_text,
     read_jsonl,
@@ -40,7 +41,15 @@ from repro.obs.metrics import (
     REGISTRY,
     get_registry,
 )
-from repro.obs.trace import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    import_spans,
+    set_tracer,
+    span_payload,
+)
 
 __all__ = [
     "Counter",
@@ -56,10 +65,13 @@ __all__ = [
     "Tracer",
     "get_registry",
     "get_tracer",
+    "import_spans",
+    "merge_metrics_records",
     "metrics_records",
     "prometheus_text",
     "read_jsonl",
     "set_tracer",
+    "span_payload",
     "span_records",
     "validate_metrics_records",
     "validate_trace_records",

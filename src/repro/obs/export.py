@@ -157,6 +157,67 @@ def validate_metrics_records(records: Sequence[Dict[str, Any]]) -> None:
             raise ValueError(f"metric record missing value: {record!r}")
 
 
+def merge_metrics_records(
+    registry: MetricsRegistry, records: Sequence[Dict[str, Any]]
+) -> int:
+    """Fold :func:`metrics_records` output into ``registry`` (get-or-create).
+
+    The inverse of export, used to join per-worker registries shipped back
+    from parallel jobs:
+
+    * **counters** add — totals across workers accumulate, exactly as a
+      serial run incrementing one shared counter would;
+    * **gauges** overwrite (last merge wins) — a gauge is a point-in-time
+      level, and summing cache sizes across workers would fabricate a cache
+      nobody has;
+    * **histograms** merge bucket-by-bucket (and ``sum``/``count``), which
+      requires identical bucket bounds — a mismatch raises ``ValueError``.
+
+    Header records (``type: "header"``) are skipped so a freshly
+    ``read_jsonl``-ed file merges as-is.  Returns the number of records
+    merged.
+    """
+    merged = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "header":
+            continue
+        name = record["name"]
+        labels = record.get("labels") or {}
+        label_names = tuple(sorted(labels))
+        if kind == "counter":
+            metric = registry.counter(name, labels=label_names)
+        elif kind == "gauge":
+            metric = registry.gauge(name, labels=label_names)
+        elif kind == "histogram":
+            bounds = tuple(
+                float(bound) for bound, _ in record["buckets"] if bound != "+Inf"
+            )
+            metric = registry.histogram(name, buckets=bounds, labels=label_names)
+        else:
+            raise ValueError(f"cannot merge record of type {kind!r}: {record!r}")
+        if label_names:
+            metric = metric.labels(**labels)
+        if kind == "counter":
+            metric.value += float(record["value"])
+        elif kind == "gauge":
+            metric.value = float(record["value"])
+        else:
+            if tuple(metric.bounds) != bounds:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ: "
+                    f"{metric.bounds} vs {bounds}"
+                )
+            previous = 0
+            for slot, (_, cumulative) in enumerate(record["buckets"]):
+                metric.counts[slot] += cumulative - previous
+                previous = cumulative
+            metric.sum += float(record["sum"])
+            metric.count += int(record["count"])
+        merged += 1
+    return merged
+
+
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
     """Load a JSONL file back into a list of records."""
     records: List[Dict[str, Any]] = []

@@ -249,6 +249,57 @@ class Tracer:
         return f"Tracer(enabled={self.enabled}, finished={len(self.finished)})"
 
 
+def span_payload(tracer: Tracer) -> List[tuple]:
+    """The tracer's finished spans as a picklable, id-free payload.
+
+    Each element is ``(name, start, end, parent_index, attrs)`` where
+    ``parent_index`` indexes into the payload itself (None at the root), so
+    the tree survives shipping across a process boundary where span ids
+    would collide.  Feed the result to :func:`import_spans` on the other
+    side.
+    """
+    with tracer._lock:
+        spans = list(tracer.finished)
+    index = {span.span_id: i for i, span in enumerate(spans)}
+    return [
+        (span.name, span.start, span.end, index.get(span.parent_id), span.attrs)
+        for span in spans
+    ]
+
+
+def import_spans(
+    tracer: Tracer, payload: List[tuple], parent: Optional[Span] = None
+) -> int:
+    """Recreate a :func:`span_payload` under ``tracer`` with fresh ids.
+
+    Roots of the payload are attached under ``parent`` when given (the
+    usual case: a ``parallel.merge`` span adopting a worker's subtree).
+    Start/end timestamps are kept verbatim — they came from another
+    process's ``perf_counter`` clock, so durations and per-name aggregates
+    are meaningful but absolute values are not comparable across processes.
+    Returns the number of spans imported; disabled tracers import nothing.
+    """
+    if not tracer.enabled or not payload:
+        return 0
+    ids = [next(tracer._ids) for _ in payload]
+    parent_id = parent.span_id if parent is not None else None
+    spans: List[Span] = []
+    for (name, start, end, parent_index, attrs), span_id in zip(payload, ids):
+        span = Span(
+            tracer,
+            name,
+            span_id,
+            ids[parent_index] if parent_index is not None else parent_id,
+            attrs,
+        )
+        span.start = start
+        span.end = end if end is not None else start
+        spans.append(span)
+    with tracer._lock:
+        tracer.finished.extend(spans)
+    return len(spans)
+
+
 #: The shared always-disabled tracer: instrumentation hooks default to it so
 #: un-traced hot paths pay only a no-op method call.
 NULL_TRACER = Tracer(enabled=False)

@@ -74,6 +74,11 @@ class Platform:
             engine's counters/gauges.  None keeps the engine's metrics in a
             private registry, exposed after the run as
             :attr:`metrics_registry`.
+        n_jobs: worker processes for the engine's chunked feasibility
+            kernel on full builds (1 = serial, negative = all CPUs).
+            Reports are bit-identical for every value.
+        parallel_threshold: minimum uncached pair count before a full
+            build fans out; None uses the engine default.
 
     The simulation is deterministic given a deterministic allocator; the
     tracer and metrics record timings only and never feed back into the
@@ -90,6 +95,8 @@ class Platform:
         use_engine: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        n_jobs: int = 1,
+        parallel_threshold: Optional[int] = None,
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
@@ -101,6 +108,8 @@ class Platform:
         self.use_engine = use_engine
         self.tracer = tracer
         self.metrics = metrics
+        self.n_jobs = n_jobs
+        self.parallel_threshold = parallel_threshold
         self._metrics_registry: Optional[MetricsRegistry] = metrics
 
     @property
@@ -129,7 +138,13 @@ class Platform:
         assigned_tasks: Set[int] = set()
         open_task_ids = {t.id for t in instance.tasks}
         engine = (
-            AllocationEngine(instance, tracer=tracer, registry=self.metrics)
+            AllocationEngine(
+                instance,
+                tracer=tracer,
+                registry=self.metrics,
+                n_jobs=self.n_jobs,
+                parallel_threshold=self.parallel_threshold,
+            )
             if self.use_engine
             else None
         )

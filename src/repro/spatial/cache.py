@@ -16,9 +16,15 @@ wrapped metric.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.spatial.distance import DistanceMetric, Point
+
+_Key = Tuple[Point, Point]
+
+#: Shared empty prefetch map: the common (no-prefetch) case costs one
+#: truthiness check per miss instead of a per-instance allocation.
+_NO_PREFETCH: Dict[_Key, float] = {}
 
 
 class CachedMetric(DistanceMetric):
@@ -27,11 +33,16 @@ class CachedMetric(DistanceMetric):
     Args:
         base: the metric to wrap.  Wrapping an already-cached metric reuses
             its underlying base rather than stacking caches.
-        maxsize: optional entry bound.  When full, inserting evicts the
-            oldest entry (FIFO — insertion order, which for the engine's
-            access pattern approximates staleness: old entries belong to
-            departed workers and assigned tasks).  None keeps the historic
-            unbounded behaviour.
+        maxsize: optional entry bound.  None keeps the historic unbounded
+            behaviour.
+        policy: eviction order for bounded caches.  ``"fifo"`` (default)
+            evicts by insertion order, which for the engine's access pattern
+            approximates staleness: old entries belong to departed workers
+            and assigned tasks.  ``"lru"`` moves entries to the back on
+            every hit and evicts the least recently used — better for
+            workloads with stable hot pairs (e.g. ``Closest`` re-ranking
+            the same neighbourhood every batch).  The default stays FIFO so
+            benchmark trajectories remain comparable across versions.
 
     Keys are directional (``(a, b)`` and ``(b, a)`` are distinct entries) so
     the wrapper stays correct for asymmetric metrics such as one-way road
@@ -40,33 +51,71 @@ class CachedMetric(DistanceMetric):
     for correctness.
     """
 
-    def __init__(self, base: DistanceMetric, maxsize: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        base: DistanceMetric,
+        maxsize: Optional[int] = None,
+        policy: str = "fifo",
+    ) -> None:
         if isinstance(base, CachedMetric):
             base = base.base
         if maxsize is not None and maxsize <= 0:
             raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        if policy not in ("fifo", "lru"):
+            raise ValueError(f"policy must be 'fifo' or 'lru', got {policy!r}")
         self.base = base
         self.name = base.name
         self.euclidean_lower_bound = base.euclidean_lower_bound
         self.maxsize = maxsize
+        self.policy = policy
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._cache: Dict[Tuple[Point, Point], float] = {}
+        self._lru = policy == "lru"
+        self._cache: Dict[_Key, float] = {}
+        self._prefetched: Mapping[_Key, float] = _NO_PREFETCH
 
     def __call__(self, a: Point, b: Point) -> float:
         key = (a, b)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            if self._lru:
+                # Move-to-end: a plain dict keeps insertion order, so
+                # delete + reinsert makes this entry the newest.
+                del self._cache[key]
+                self._cache[key] = cached
             return cached
         self.misses += 1
-        value = self.base(a, b)
+        value = self._prefetched.get(key) if self._prefetched else None
+        if value is None:
+            value = self.base(a, b)
         if self.maxsize is not None and len(self._cache) >= self.maxsize:
             del self._cache[next(iter(self._cache))]
             self.evictions += 1
         self._cache[key] = value
         return value
+
+    def __contains__(self, key: _Key) -> bool:
+        """Whether ``(a, b)`` is currently memoized (no counters touched)."""
+        return key in self._cache
+
+    def preload(self, prefetched: Mapping[_Key, float]) -> None:
+        """Install precomputed distances consulted on cache misses.
+
+        A prefetched pair still *counts* as a miss and is inserted into the
+        cache exactly as if ``base`` had been called — same counters, same
+        insertion (and therefore eviction) order — the base evaluation is
+        simply skipped.  This is the replay half of the engine's chunked
+        feasibility kernel: worker processes evaluate distances, the parent
+        replays the serial access sequence against the prefetched values,
+        and the resulting cache state is bit-identical to a serial build.
+        """
+        self._prefetched = prefetched
+
+    def clear_preload(self) -> None:
+        """Drop the prefetched overlay (memoized entries are kept)."""
+        self._prefetched = _NO_PREFETCH
 
     def clear(self) -> None:
         """Drop every memoized entry (counters are kept)."""

@@ -8,15 +8,27 @@ densities the experiments use.
 
 The index is intentionally simple (no rebalancing, no deletion compaction):
 batches are rebuilt from scratch each allocation round, so build speed and
-query speed are what matter.
+query speed are what matter.  Inner loops compare *squared* distances
+against a hoisted ``radius * radius``, saving a ``math.sqrt`` per candidate
+— the single hottest instruction in a feasibility build.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Tuple, TypeVar
+from typing import (
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
-from repro.spatial.distance import Point, euclidean
+from repro.spatial.distance import Point
 
 K = TypeVar("K", bound=Hashable)
 
@@ -43,6 +55,14 @@ class GridIndex(Generic[K]):
         self._cell_size = cell_size
         self._cells: Dict[Cell, List[K]] = {}
         self._points: Dict[K, Point] = {}
+        # Bounding box of occupied cells (min_i, max_i, min_j, max_j),
+        # maintained incrementally: grown on insert, marked dirty when a
+        # removal empties a cell on the current boundary and recomputed
+        # lazily on the next query that needs it.  The Chebyshev radius of
+        # the box around any center cell equals the exact max occupied ring
+        # (the farthest cell in either axis realises the maximum).
+        self._bounds: Optional[Tuple[int, int, int, int]] = None
+        self._bounds_dirty = False
 
     @property
     def cell_size(self) -> float:
@@ -68,7 +88,18 @@ class GridIndex(Generic[K]):
         if key in self._points:
             self.remove(key)
         self._points[key] = point
-        self._cells.setdefault(self._cell_of(point), []).append(key)
+        cell = self._cell_of(point)
+        self._cells.setdefault(cell, []).append(key)
+        if not self._bounds_dirty:
+            i, j = cell
+            if self._bounds is None:
+                self._bounds = (i, i, j, j)
+            else:
+                min_i, max_i, min_j, max_j = self._bounds
+                if i < min_i or i > max_i or j < min_j or j > max_j:
+                    self._bounds = (
+                        min(min_i, i), max(max_i, i), min(min_j, j), max(max_j, j)
+                    )
 
     def insert_many(self, items: Iterable[Tuple[K, Point]]) -> None:
         for key, point in items:
@@ -82,6 +113,27 @@ class GridIndex(Generic[K]):
         bucket.remove(key)
         if not bucket:
             del self._cells[cell]
+            # Only an emptied *extreme* cell can shrink the bounding box;
+            # interior holes leave it exact.
+            if self._bounds is not None and not self._bounds_dirty:
+                min_i, max_i, min_j, max_j = self._bounds
+                i, j = cell
+                if i == min_i or i == max_i or j == min_j or j == max_j:
+                    self._bounds_dirty = True
+
+    def _occupied_bounds(self) -> Optional[Tuple[int, int, int, int]]:
+        if self._bounds_dirty:
+            self._bounds = None
+            self._bounds_dirty = False
+            for i, j in self._cells:
+                if self._bounds is None:
+                    self._bounds = (i, i, j, j)
+                else:
+                    min_i, max_i, min_j, max_j = self._bounds
+                    self._bounds = (
+                        min(min_i, i), max(max_i, i), min(min_j, j), max(max_j, j)
+                    )
+        return self._bounds if self._cells else None
 
     def point_of(self, key: K) -> Point:
         return self._points[key]
@@ -91,6 +143,8 @@ class GridIndex(Generic[K]):
         if radius < 0.0:
             return []
         cx, cy = center
+        radius_sq = radius * radius
+        points = self._points
         lo_i = math.floor((cx - radius) / self._cell_size)
         hi_i = math.floor((cx + radius) / self._cell_size)
         lo_j = math.floor((cy - radius) / self._cell_size)
@@ -104,7 +158,10 @@ class GridIndex(Generic[K]):
             for (i, j), bucket in self._cells.items():
                 if lo_i <= i <= hi_i and lo_j <= j <= hi_j:
                     for key in bucket:
-                        if euclidean(self._points[key], center) <= radius:
+                        px, py = points[key]
+                        dx = px - cx
+                        dy = py - cy
+                        if dx * dx + dy * dy <= radius_sq:
                             out.append(key)
             return out
         for i in range(lo_i, hi_i + 1):
@@ -113,7 +170,10 @@ class GridIndex(Generic[K]):
                 if not bucket:
                     continue
                 for key in bucket:
-                    if euclidean(self._points[key], center) <= radius:
+                    px, py = points[key]
+                    dx = px - cx
+                    dy = py - cy
+                    if dx * dx + dy * dy <= radius_sq:
                         out.append(key)
         return out
 
@@ -125,8 +185,10 @@ class GridIndex(Generic[K]):
         """
         if not self._points:
             return None
+        cx, cy = center
+        points = self._points
         best_key: K | None = None
-        best_dist = math.inf
+        best_sq = math.inf
         ring = 0
         ccell = self._cell_of(center)
         max_occupied = self._max_occupied_ring(ccell)
@@ -137,36 +199,44 @@ class GridIndex(Generic[K]):
             # Ring enumeration costs O(ring); once rings outgrow the whole
             # population a direct scan is cheaper (and bounded).
             if 8 * ring > len(self._points):
-                for key, point in self._points.items():
-                    d = euclidean(point, center)
-                    if d < best_dist:
-                        best_key, best_dist = key, d
+                for key, (px, py) in points.items():
+                    dx = px - cx
+                    dy = py - cy
+                    d_sq = dx * dx + dy * dy
+                    if d_sq < best_sq:
+                        best_key, best_sq = key, d_sq
                 break
             for i, j in self._ring_cells(ccell, ring):
                 bucket = self._cells.get((i, j))
                 if not bucket:
                     continue
                 for key in bucket:
-                    d = euclidean(self._points[key], center)
-                    if d < best_dist:
-                        best_key, best_dist = key, d
+                    px, py = points[key]
+                    dx = px - cx
+                    dy = py - cy
+                    d_sq = dx * dx + dy * dy
+                    if d_sq < best_sq:
+                        best_key, best_sq = key, d_sq
             # once we have a candidate, one extra ring suffices: any point in
             # farther rings is at least (ring-1)*cell_size away.
-            if best_key is not None and (ring - 1) * self._cell_size > best_dist:
-                break
+            if best_key is not None:
+                lower = (ring - 1) * self._cell_size
+                if lower > 0.0 and lower * lower > best_sq:
+                    break
             if best_key is None and ring > max_occupied:
                 break
             ring += 1
-        if max_radius is not None and best_dist > max_radius:
+        if max_radius is not None and best_sq > max_radius * max_radius:
             return None
         return best_key
 
     def _max_occupied_ring(self, center_cell: Cell) -> int:
+        bounds = self._occupied_bounds()
+        if bounds is None:
+            return 0
         ci, cj = center_cell
-        worst = 0
-        for i, j in self._cells:
-            worst = max(worst, abs(i - ci), abs(j - cj))
-        return worst
+        min_i, max_i, min_j, max_j = bounds
+        return max(ci - min_i, max_i - ci, cj - min_j, max_j - cj, 0)
 
     @staticmethod
     def _ring_cells(center: Cell, ring: int) -> Iterator[Cell]:

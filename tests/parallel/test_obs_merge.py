@@ -1,0 +1,167 @@
+"""Cross-process observability: span shipping and metrics merging."""
+
+import math
+
+import pytest
+
+from repro.obs.export import merge_metrics_records, metrics_records
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer, import_spans, span_payload
+
+
+class TestSpanPayload:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            outer.set("k", 1)
+            with tracer.span("inner"):
+                pass
+        with tracer.span("sibling"):
+            pass
+        return tracer
+
+    def test_round_trip_preserves_tree(self):
+        source = self._traced()
+        payload = span_payload(source)
+        target = Tracer()
+        assert import_spans(target, payload) == 3
+        by_name = {s.name: s for s in target.finished}
+        assert set(by_name) == {"outer", "inner", "sibling"}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["sibling"].parent_id is None
+        assert by_name["outer"].attrs == {"k": 1}
+
+    def test_import_under_parent_adopts_roots(self):
+        source = self._traced()
+        target = Tracer()
+        with target.span("parallel.merge") as merge:
+            import_spans(target, span_payload(source), parent=merge)
+        by_name = {s.name: s for s in target.finished}
+        assert by_name["outer"].parent_id == by_name["parallel.merge"].span_id
+        assert by_name["sibling"].parent_id == by_name["parallel.merge"].span_id
+        # Nested structure inside the subtree is untouched.
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_fresh_ids_never_collide(self):
+        source = self._traced()
+        payload = span_payload(source)
+        target = Tracer()
+        import_spans(target, payload)
+        import_spans(target, payload)  # same payload twice, e.g. two workers
+        ids = [s.span_id for s in target.finished]
+        assert len(ids) == len(set(ids))
+
+    def test_durations_survive(self):
+        source = self._traced()
+        target = Tracer()
+        import_spans(target, span_payload(source))
+        durations = {s.name: s.duration for s in source.finished}
+        for span in target.finished:
+            assert span.duration == durations[span.name]
+
+    def test_disabled_tracer_imports_nothing(self):
+        payload = span_payload(self._traced())
+        assert import_spans(NULL_TRACER, payload) == 0
+
+    def test_payload_is_picklable(self):
+        import pickle
+
+        payload = span_payload(self._traced())
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestMergeMetrics:
+    def test_counters_add(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs_done").inc(3)
+        parent = MetricsRegistry()
+        parent.counter("jobs_done").inc(1)
+        merge_metrics_records(parent, metrics_records(worker))
+        merge_metrics_records(parent, metrics_records(worker))
+        assert parent.as_dict()["jobs_done"] == 7.0
+
+    def test_gauges_last_write_wins(self):
+        worker = MetricsRegistry()
+        worker.gauge("cache_size").set(40.0)
+        parent = MetricsRegistry()
+        parent.gauge("cache_size").set(9.0)
+        merge_metrics_records(parent, metrics_records(worker))
+        assert parent.as_dict()["cache_size"] == 40.0
+
+    def test_labeled_counters_merge_per_child(self):
+        worker = MetricsRegistry()
+        family = worker.counter("batches", labels=("approach",))
+        family.labels(approach="Greedy").inc(2)
+        family.labels(approach="Random").inc(5)
+        parent = MetricsRegistry()
+        parent.counter("batches", labels=("approach",)).labels(approach="Greedy").inc(1)
+        merge_metrics_records(parent, metrics_records(worker))
+        merged = {
+            tuple(sorted(m.labels.items())): m.value
+            for m in parent.collect()
+            if m.name == "batches"
+        }
+        assert merged == {(("approach", "Greedy"),): 3.0, (("approach", "Random"),): 5.0}
+
+    def test_histograms_merge_buckets_sum_count(self):
+        worker = MetricsRegistry()
+        hist = worker.histogram("latency", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        parent = MetricsRegistry()
+        parent.histogram("latency", buckets=(1.0, 10.0)).observe(0.25)
+        merge_metrics_records(parent, metrics_records(worker))
+        merged = next(m for m in parent.collect() if m.name == "latency")
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(55.75)
+        assert merged.bucket_counts() == [(1.0, 2), (10.0, 3), (math.inf, 4)]
+
+    def test_histogram_bound_mismatch_raises(self):
+        worker = MetricsRegistry()
+        worker.histogram("latency", buckets=(1.0, 10.0)).observe(2.0)
+        parent = MetricsRegistry()
+        parent.histogram("latency", buckets=(2.0, 20.0)).observe(1.0)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            merge_metrics_records(parent, metrics_records(worker))
+
+    def test_header_records_skipped(self):
+        parent = MetricsRegistry()
+        merged = merge_metrics_records(
+            parent, [{"type": "header", "schema": "whatever"}]
+        )
+        assert merged == 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_metrics_records(MetricsRegistry(), [{"type": "summary", "name": "x"}])
+
+
+class TestParallelRunTracing:
+    def test_parallel_sweep_ships_worker_spans_home(self):
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+        from repro.experiments.harness import run_sweep
+
+        tracer = Tracer()
+        run_sweep(
+            "traced",
+            "seed",
+            [1],
+            lambda v: generate_synthetic(SyntheticConfig(seed=int(v)).scaled(0.05)),
+            ["Greedy", "Random"],
+            seed=3,
+            n_jobs=2,
+            tracer=tracer,
+        )
+        names = [s.name for s in tracer.finished]
+        assert "parallel.fanout" in names
+        assert "parallel.merge" in names
+        # Each worker ran one approach under its own tracer; both subtrees
+        # must have come home and landed under the merge span.
+        assert names.count("harness.approach") == 2
+        merge_id = next(s.span_id for s in tracer.finished if s.name == "parallel.merge")
+        roots = [
+            s
+            for s in tracer.finished
+            if s.name == "harness.approach" and s.parent_id == merge_id
+        ]
+        assert len(roots) == 2

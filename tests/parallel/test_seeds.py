@@ -1,0 +1,45 @@
+"""Deterministic seed derivation: coordinates in, same seed out, always."""
+
+from repro.parallel.seeds import derive_seed, repetition_seeds
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "rep", 3) == derive_seed(7, "rep", 3)
+
+    def test_components_matter(self):
+        seeds = {
+            derive_seed(7, "rep", 1),
+            derive_seed(7, "rep", 2),
+            derive_seed(7, "rep", 11),  # not confusable with ("rep", 1, 1)
+            derive_seed(8, "rep", 1),
+            derive_seed(7, "value", 1),
+        }
+        assert len(seeds) == 5
+
+    def test_component_boundaries_are_unambiguous(self):
+        # ("ab", "c") and ("a", "bc") must not collide: components are
+        # joined with a separator, not concatenated.
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_range_fits_a_signed_64_bit_seed(self):
+        for base in range(25):
+            seed = derive_seed(base, "x")
+            assert 0 <= seed < 2**63
+
+
+class TestRepetitionSeeds:
+    def test_repetition_zero_is_the_base_seed(self):
+        # One repetition must reproduce the historic single-run harness.
+        assert repetition_seeds(42, 1) == [42]
+        assert repetition_seeds(42, 4)[0] == 42
+
+    def test_distinct_and_stable(self):
+        seeds = repetition_seeds(7, 6)
+        assert len(set(seeds)) == 6
+        assert seeds == repetition_seeds(7, 6)
+
+    def test_prefix_property(self):
+        # Raising the repetition count extends the schedule, never reshuffles
+        # it — repetition r's seed is independent of how many run after it.
+        assert repetition_seeds(7, 8)[:3] == repetition_seeds(7, 3)

@@ -66,6 +66,93 @@ class TestBounded:
         assert "evictions=2" in repr(metric)
 
 
+class TestLRU:
+    def test_default_policy_is_fifo(self):
+        assert CachedMetric(EuclideanDistance()).policy == "fifo"
+
+    def test_hit_refreshes_entry(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=2, policy="lru")
+        origin = (0.0, 0.0)
+        p0, p1, p2 = _points(3)
+        metric(origin, p0)
+        metric(origin, p1)
+        metric(origin, p0)  # refresh p0: p1 is now least recently used
+        metric(origin, p2)  # evicts p1, not p0
+        assert metric(origin, p0) == 0.0
+        assert (metric.hits, metric.misses) == (2, 3)  # p0 still a hit
+        metric(origin, p1)  # re-miss: p1 was the one evicted
+        assert metric.misses == 4
+
+    def test_fifo_evicts_refreshed_entry_anyway(self):
+        # The contrast case: under FIFO the same access pattern evicts p0.
+        metric = CachedMetric(EuclideanDistance(), maxsize=2, policy="fifo")
+        origin = (0.0, 0.0)
+        p0, p1, p2 = _points(3)
+        metric(origin, p0)
+        metric(origin, p1)
+        metric(origin, p0)
+        metric(origin, p2)  # evicts p0 despite the recent hit
+        metric(origin, p0)
+        assert metric.misses == 4
+
+    def test_values_and_counters_tracked(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=4, policy="lru")
+        origin = (0.0, 0.0)
+        for p in _points(10):
+            assert metric(origin, p) == p[0]
+        assert len(metric) == 4
+        assert metric.evictions == 6
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            CachedMetric(EuclideanDistance(), policy="lfu")
+
+
+class TestPreload:
+    def test_prefetched_pair_counts_as_miss_and_inserts(self):
+        metric = CachedMetric(EuclideanDistance())
+        a, b = (0.0, 0.0), (3.0, 4.0)
+        metric.preload({(a, b): 5.0})
+        assert metric(a, b) == 5.0
+        assert (metric.hits, metric.misses) == (0, 1)
+        assert (a, b) in metric
+        metric.clear_preload()
+        assert metric(a, b) == 5.0  # now a genuine cache hit
+        assert metric.hits == 1
+
+    def test_zero_distance_prefetch_is_used(self):
+        # 0.0 is falsy; the overlay must not fall through to the base.
+        calls = []
+
+        class Recording(EuclideanDistance):
+            def __call__(self, a, b):
+                calls.append((a, b))
+                return super().__call__(a, b)
+
+        metric = CachedMetric(Recording())
+        a = (1.0, 1.0)
+        metric.preload({(a, a): 0.0})
+        assert metric(a, a) == 0.0
+        assert calls == []
+
+    def test_unprefetched_pair_falls_through_to_base(self):
+        metric = CachedMetric(EuclideanDistance())
+        metric.preload({((0.0, 0.0), (1.0, 0.0)): 1.0})
+        assert metric((0.0, 0.0), (0.0, 2.0)) == 2.0
+
+    def test_preload_respects_eviction_order(self):
+        metric = CachedMetric(EuclideanDistance(), maxsize=2)
+        origin = (0.0, 0.0)
+        p0, p1, p2 = _points(3)
+        metric.preload({(origin, p): float(i) for i, p in enumerate((p0, p1, p2))})
+        metric(origin, p0)
+        metric(origin, p1)
+        metric(origin, p2)  # FIFO-evicts p0 exactly as a base-computed miss
+        assert metric.evictions == 1
+        assert (origin, p0) not in metric
+        assert (origin, p2) in metric
+
+
 class TestValidation:
     @pytest.mark.parametrize("bad", [0, -1, -100])
     def test_rejects_non_positive_maxsize(self, bad):
