@@ -1,0 +1,129 @@
+"""Incremental best-response engine: same equilibrium, a fraction of the work.
+
+One 500-worker / 500-task synthetic batch runs through ``DASC_Game`` twice:
+with the naive full-rescan loop (every worker re-evaluated every round,
+every utility a fresh dependency-graph walk) and with the dirty-set /
+cached engine.  The assignment, score and round count must match exactly —
+the engine's bit-identity contract — while the counters must show at least
+a 5x drop in ``task_value`` computations.  The counter assertion is
+host-independent (no wall-clock in the pass/fail), so it gates identically
+on 1-CPU CI runners and laptops; wall times are recorded alongside for the
+trajectory file.
+"""
+
+import time
+
+from repro.algorithms.game import DASCGame
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.engine.context import BatchContext
+
+#: 500x500 at default density (the acceptance workload).
+_SCALE = 0.1
+_SEED = 7
+_MIN_VALUE_RATIO = 5.0
+
+GAME_CONFIG = {
+    "instance": f"synthetic seed={_SEED} scale={_SCALE} (500x500)",
+    "approach": "Game",
+    "threshold": 0.0,
+    "alpha": 10.0,
+    "family": "repro.bench/game/v1",
+}
+
+
+def make_game_instance():
+    return generate_synthetic(SyntheticConfig(seed=_SEED).scaled(_SCALE))
+
+
+def strategy_size(instance) -> int:
+    """``sum_w |S_w|`` over participating workers (the per-round naive cost)."""
+    context = BatchContext.standalone(
+        instance.workers, instance.tasks, instance, instance.earliest_start
+    )
+    checker = context.checker
+    return sum(
+        len(checker.tasks_of(w.id))
+        for w in instance.workers
+        if checker.tasks_of(w.id)
+    )
+
+
+def run_game(instance, incremental: bool):
+    """One standalone-batch Game allocation; returns (outcome, wall_ms)."""
+    context = BatchContext.standalone(
+        instance.workers, instance.tasks, instance, instance.earliest_start
+    )
+    game = DASCGame(seed=_SEED, incremental=incremental)
+    started = time.perf_counter()
+    outcome = game.allocate(context)
+    return outcome, (time.perf_counter() - started) * 1000.0
+
+
+def test_game_incremental_500(record_bench_json):
+    instance = make_game_instance()
+    slow, naive_ms = run_game(instance, incremental=False)
+    fast, incremental_ms = run_game(instance, incremental=True)
+
+    # Bit-identity first: the speedup is worthless if the answer moved.
+    assert sorted(fast.assignment.pairs()) == sorted(slow.assignment.pairs())
+    assert fast.assignment.score == slow.assignment.score
+    assert fast.stats["rounds"] == slow.stats["rounds"]
+
+    # The naive loop's work is exactly rounds x sum_w |S_w| — pinning this
+    # keeps the derived-baseline formula in check_perf_gate.py honest.
+    assert slow.stats["evaluations"] == slow.stats["rounds"] * strategy_size(instance)
+    assert slow.stats["value_recomputes"] == slow.stats["evaluations"]
+
+    value_ratio = slow.stats["value_recomputes"] / max(
+        fast.stats["value_recomputes"], 1.0
+    )
+    eval_ratio = slow.stats["evaluations"] / max(fast.stats["evaluations"], 1.0)
+    hit_rate = fast.stats["cache_hits"] / max(fast.stats["evaluations"], 1.0)
+    speedup = naive_ms / incremental_ms if incremental_ms > 0.0 else 0.0
+
+    record_bench_json(
+        "game_incremental_500",
+        GAME_CONFIG,
+        incremental_ms,
+        {
+            "rounds": fast.stats["rounds"],
+            "evaluations": fast.stats["evaluations"],
+            "value_recomputes": fast.stats["value_recomputes"],
+            "cache_hits": fast.stats["cache_hits"],
+            "cache_hit_rate": round(hit_rate, 4),
+            "skipped_workers": fast.stats["skipped_workers"],
+            "naive_evaluations": slow.stats["evaluations"],
+            "naive_wall_ms": round(naive_ms, 3),
+            "eval_ratio": round(eval_ratio, 3),
+            "value_ratio": round(value_ratio, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
+
+    # The acceptance bar: >=5x fewer task_value computations, measured by
+    # counters so the verdict is independent of host CPU count or load.
+    assert value_ratio >= _MIN_VALUE_RATIO, (
+        f"expected >={_MIN_VALUE_RATIO}x fewer task_value computations, got "
+        f"{value_ratio:.2f}x ({slow.stats['value_recomputes']:.0f} naive vs "
+        f"{fast.stats['value_recomputes']:.0f} incremental)"
+    )
+
+
+def test_game_variants_bit_identical_at_bench_scale():
+    """Game-5% and G-G configs on the same 500x500 batch, both loops."""
+    instance = make_game_instance()
+    for kwargs in (
+        dict(threshold=0.05, init="random"),
+        dict(threshold=0.0, init="greedy"),
+    ):
+        outcomes = []
+        for incremental in (False, True):
+            context = BatchContext.standalone(
+                instance.workers, instance.tasks, instance, instance.earliest_start
+            )
+            game = DASCGame(seed=_SEED, incremental=incremental, **kwargs)
+            outcomes.append(game.allocate(context))
+        slow, fast = outcomes
+        assert sorted(fast.assignment.pairs()) == sorted(slow.assignment.pairs())
+        assert fast.stats["rounds"] == slow.stats["rounds"]
+        assert fast.stats["value_recomputes"] < slow.stats["value_recomputes"]

@@ -1,19 +1,31 @@
 #!/usr/bin/env python
 """Perf-regression gate over the engine micro-benchmark.
 
-Reruns the feasibility-dominated platform workload behind
-``bench_micro_substrates.test_micro_platform_engine`` (best of a few
-rounds, to shave scheduler noise) and compares the wall-clock against the
-committed ``micro_platform_engine`` entry in ``results/BENCH_engine.json``.
-A run more than 25% slower than the committed baseline fails the gate; the
-fresh measurement is re-recorded either way so the trajectory file always
-carries the latest number.
+Two checks, one exit code:
 
-Exit codes: 0 pass (or no baseline yet), 1 regression.
+1. **Wall-clock gate** — reruns the feasibility-dominated platform workload
+   behind ``bench_micro_substrates.test_micro_platform_engine`` (best of a
+   few rounds, to shave scheduler noise) and compares the wall-clock
+   against the committed ``micro_platform_engine`` entry in
+   ``results/BENCH_engine.json``.  A run more than 25% slower than the
+   committed baseline fails the gate; the fresh measurement is re-recorded
+   either way so the trajectory file always carries the latest number.
+2. **Game evaluation-ratio gate** — runs the incremental best-response
+   engine once on the 500x500 ``bench_game`` workload and derives the naive
+   loop's cost exactly (``rounds x sum_w |S_w|`` — the identity
+   ``bench_game`` pins) without running it.  The ratio of derived-naive
+   ``task_value`` computations to the engine's measured
+   ``value_recomputes`` counter must stay >= 5x.  Being pure counter
+   arithmetic, this check is deterministic on 1-CPU hosts: a regression in
+   the dirty-set scheduler or the value cache fails CI regardless of
+   machine speed or load.
+
+Exit codes: 0 all pass (or no baseline yet for the wall gate), 1 any fail.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_gate.py [--threshold 1.25]
+        [--min-eval-ratio 5.0]
 """
 
 from __future__ import annotations
@@ -37,7 +49,9 @@ from bench_micro_substrates import (  # noqa: E402
 from conftest import BENCH_JSON, BENCH_SCHEMA, record_bench_entry  # noqa: E402
 
 ENTRY = "micro_platform_engine"
+GAME_ENTRY = "game_eval_gate"
 ROUNDS = 3
+MIN_EVAL_RATIO = 5.0
 
 
 def _committed_baseline() -> float | None:
@@ -52,6 +66,40 @@ def _committed_baseline() -> float | None:
     return None
 
 
+def check_game_eval_ratio(min_ratio: float) -> bool:
+    """Counter-only gate on the incremental game engine's savings."""
+    from bench_game import GAME_CONFIG, make_game_instance, run_game, strategy_size
+
+    instance = make_game_instance()
+    outcome, wall_ms = run_game(instance, incremental=True)
+    # The naive loop evaluates (and walks the graph for) every strategy of
+    # every worker each round — derived exactly, no need to run it.
+    naive_evals = outcome.stats["rounds"] * strategy_size(instance)
+    recomputes = max(outcome.stats["value_recomputes"], 1.0)
+    ratio = naive_evals / recomputes
+    record_bench_entry(
+        GAME_ENTRY,
+        dict(GAME_CONFIG, min_eval_ratio=min_ratio),
+        wall_ms,
+        {
+            "rounds": outcome.stats["rounds"],
+            "value_recomputes": outcome.stats["value_recomputes"],
+            "cache_hits": outcome.stats["cache_hits"],
+            "skipped_workers": outcome.stats["skipped_workers"],
+            "derived_naive_evaluations": naive_evals,
+            "eval_ratio": round(ratio, 3),
+        },
+    )
+    ok = ratio >= min_ratio
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: game eval ratio {ratio:.2f}x "
+        f"({naive_evals:.0f} derived-naive task values vs "
+        f"{outcome.stats['value_recomputes']:.0f} computed; floor x{min_ratio})"
+    )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -62,6 +110,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--rounds", type=int, default=ROUNDS, help="measurement rounds (best wins)"
+    )
+    parser.add_argument(
+        "--min-eval-ratio",
+        type=float,
+        default=MIN_EVAL_RATIO,
+        help="fail when the game engine computes more than naive/THIS task "
+        f"values (default {MIN_EVAL_RATIO}; deterministic, no wall-clock)",
     )
     args = parser.parse_args(argv)
 
@@ -82,17 +137,19 @@ def main(argv: list[str] | None = None) -> int:
     record_bench_entry(
         ENTRY, dict(_FEASIBILITY_CONFIG, use_engine=True), best_ms, counters
     )
+    game_ok = check_game_eval_ratio(args.min_eval_ratio)
     if baseline_ms is None:
         print(f"no committed baseline for {ENTRY!r}; recorded {best_ms:.1f} ms")
-        return 0
+        return 0 if game_ok else 1
 
     limit_ms = baseline_ms * args.threshold
-    verdict = "PASS" if best_ms <= limit_ms else "FAIL"
+    wall_ok = best_ms <= limit_ms
+    verdict = "PASS" if wall_ok else "FAIL"
     print(
         f"{verdict}: {best_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
         f"(limit {limit_ms:.1f} ms = x{args.threshold})"
     )
-    return 0 if best_ms <= limit_ms else 1
+    return 0 if (wall_ok and game_ok) else 1
 
 
 if __name__ == "__main__":

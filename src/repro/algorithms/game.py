@@ -12,19 +12,46 @@ Three named configurations from the evaluation:
 * ``Game-5%`` — stop once the fraction of workers changing strategy in a
   round drops to 5% or below (the threshold trade-off of Figure 2);
 * ``G-G`` — initialise from ``DASC_Greedy`` instead of randomly.
+
+Incremental best response
+-------------------------
+The default (``incremental=True``) loop is a *dirty-set scheduler*: after
+each move only the workers whose utility landscape actually changed are
+re-evaluated.  A move of worker ``w`` from task ``old`` to task ``new``
+changes another worker ``x``'s candidate utilities only through
+
+1. the contention counts ``nw_old`` / ``nw_new`` — affecting exactly the
+   workers with ``old`` or ``new`` in their strategy list (a reverse
+   task → workers index makes this lookup O(1)); and
+2. a *global indicator flip* (``old`` losing its last worker, or ``new``
+   gaining its first) — affecting the workers able to choose any task in
+   the flipped task's :meth:`~repro.core.dependency.DependencyGraph.influence_set`.
+
+A worker outside both sets sees bit-for-bit the same candidate utilities it
+saw when it last held its argmax, so under the strict ``_EPS`` improvement
+margin it provably repeats "no move" — skipping it leaves the move sequence,
+the per-round ``changed`` counts and therefore the termination round exactly
+identical to the naive loop.  Candidates are evaluated through
+``GameState.candidate_utility`` (read-only, no withdraw/re-add), so the
+value memo is only ever invalidated by real moves.
+
+``incremental=False`` runs the original withdraw-and-rescan loop over
+:class:`~repro.algorithms.utility.ReferenceGameState` — the honest baseline
+for the evaluation-count speedups reported by the counters.
 """
 
 from __future__ import annotations
 
 import random
-from typing import AbstractSet, Dict, List, Literal
+from typing import AbstractSet, Dict, FrozenSet, List, Literal, Optional, Set, Tuple
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.algorithms.greedy import DASCGreedy
-from repro.algorithms.utility import GameState
+from repro.algorithms.utility import GameState, ReferenceGameState
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
 from repro.engine.context import BatchContext
+from repro.obs.trace import get_tracer
 
 InitMode = Literal["random", "greedy"]
 
@@ -32,6 +59,8 @@ InitMode = Literal["random", "greedy"]
 #: its current utility by more than this, which (with the exact potential)
 #: rules out infinite tie-shuffling.
 _EPS = 1e-12
+
+_EMPTY: FrozenSet[int] = frozenset()
 
 
 class DASCGame(BatchAllocator):
@@ -50,6 +79,11 @@ class DASCGame(BatchAllocator):
             is reached far earlier in practice — Lemma IV.1).
         reassign_losers: extension beyond the paper — workers that lose a
             contention tie take a final greedy pass over still-open tasks.
+        incremental: run the dirty-set scheduler over the cached
+            :class:`GameState` (default).  ``False`` replays the original
+            full-rescan loop over :class:`ReferenceGameState`; outputs are
+            bit-identical either way (pinned by the equivalence tests), only
+            the work counters differ.
     """
 
     name = "Game"
@@ -62,6 +96,7 @@ class DASCGame(BatchAllocator):
         seed: int = 0,
         max_rounds: int = 200,
         reassign_losers: bool = False,
+        incremental: bool = True,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
@@ -73,6 +108,7 @@ class DASCGame(BatchAllocator):
         self.seed = seed
         self.max_rounds = max_rounds
         self.reassign_losers = reassign_losers
+        self.incremental = incremental
 
     # -- main entry ---------------------------------------------------------------------
 
@@ -89,17 +125,37 @@ class DASCGame(BatchAllocator):
         if not strategies:
             return AllocationOutcome(Assignment())
 
-        state = GameState(
+        state_cls = GameState if self.incremental else ReferenceGameState
+        state = state_cls(
             instance, tasks, strategies, previously_assigned, alpha=self.alpha
         )
         self._initialise(state, strategies, context, rng)
-        rounds = self._best_response(state, strategies)
+        if self.incremental:
+            rounds, skipped = self._best_response(state, strategies, context)
+        else:
+            rounds = self._best_response_naive(state, strategies)
+            skipped = 0
         assignment = self._extract(state, previously_assigned, instance, rng)
         if self.reassign_losers:
             assignment = self._reassign(
                 assignment, strategies, checker, instance, previously_assigned
             )
-        return AllocationOutcome(assignment, stats={"rounds": float(rounds)})
+        stats = {
+            "rounds": float(rounds),
+            "evaluations": float(state.evaluations),
+            "value_recomputes": float(state.value_recomputes),
+            "cache_hits": float(state.cache_hits),
+            "skipped_workers": float(skipped),
+        }
+        if context.counters is not None:
+            context.counters.add_game_work(
+                rounds=rounds,
+                evaluations=state.evaluations,
+                value_recomputes=state.value_recomputes,
+                cache_hits=state.cache_hits,
+                skipped=skipped,
+            )
+        return AllocationOutcome(assignment, stats=stats)
 
     # -- phases --------------------------------------------------------------------------
 
@@ -120,11 +176,105 @@ class DASCGame(BatchAllocator):
             raise ValueError(f"unknown init mode {self.init!r}")
         for worker_id, options in strategies.items():
             task_id = seeded.get(worker_id)
-            if task_id is None or task_id not in set(options):
+            # Strategy lists are small and already deduped — a linear probe
+            # beats materialising a throwaway set per worker.
+            if task_id is None or task_id not in options:
                 task_id = rng.choice(options)
             state.set_choice(worker_id, task_id)
 
-    def _best_response(self, state: GameState, strategies: Dict[int, List[int]]) -> int:
+    def _best_response(
+        self,
+        state: GameState,
+        strategies: Dict[int, List[int]],
+        context: Optional[BatchContext] = None,
+    ) -> Tuple[int, int]:
+        """Dirty-set best-response dynamics; returns (rounds, skipped)."""
+        player_order = sorted(strategies)
+        n_players = len(player_order)
+        graph = state.graph
+        prev = state.prev
+        nw = state.nw
+        # Reverse index: task -> workers able to choose it.  Drives both the
+        # contention marking (rule 1) and the indicator-flip marking (rule 2).
+        strategy_index: Dict[int, Set[int]] = {}
+        for worker_id, options in strategies.items():
+            for task_id in options:
+                members = strategy_index.get(task_id)
+                if members is None:
+                    members = strategy_index[task_id] = set()
+                members.add(worker_id)
+
+        tracer = context.tracer if context is not None else get_tracer()
+        traced = tracer.enabled
+        dirty: Set[int] = set(player_order)
+        rounds = 0
+        total_skipped = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            changed = 0
+            round_skipped = 0
+            with tracer.span("alloc.game.round") as span:
+                for worker_id in player_order:
+                    if worker_id not in dirty:
+                        round_skipped += 1
+                        continue
+                    current = state.choice[worker_id]
+                    best_task = current
+                    best_utility = (
+                        state.candidate_utility(worker_id, current)
+                        if current is not None
+                        else 0.0
+                    )
+                    for candidate in strategies[worker_id]:
+                        if candidate == current:
+                            continue
+                        utility = state.candidate_utility(worker_id, candidate)
+                        if utility > best_utility + _EPS:
+                            best_utility = utility
+                            best_task = candidate
+                    if best_task == current:
+                        # Argmax confirmed the committed strategy: the worker
+                        # stays clean until something it can see changes.
+                        dirty.discard(worker_id)
+                        continue
+                    # Capture indicator flips before mutating the counts.
+                    old_flips = (
+                        current is not None
+                        and nw.get(current) == 1
+                        and current not in prev
+                    )
+                    new_flips = nw.get(best_task, 0) == 0 and best_task not in prev
+                    state.set_choice(worker_id, best_task)
+                    changed += 1
+                    # Rule 1: contention on the endpoints changed.
+                    if current is not None:
+                        dirty.update(strategy_index.get(current, _EMPTY))
+                    dirty.update(strategy_index.get(best_task, _EMPTY))
+                    # Rule 2: a flipped indicator re-values every task in its
+                    # influence neighbourhood.
+                    if old_flips:
+                        for task_id in graph.influence_set(current):
+                            dirty.update(strategy_index.get(task_id, _EMPTY))
+                    if new_flips:
+                        for task_id in graph.influence_set(best_task):
+                            dirty.update(strategy_index.get(task_id, _EMPTY))
+                    # The mover itself is clean: its own move does not change
+                    # the withdrawn view it just optimised over.
+                    dirty.discard(worker_id)
+                if traced:
+                    span.set("round", rounds)
+                    span.set("changed", changed)
+                    span.set("evaluated", n_players - round_skipped)
+                    span.set("skipped", round_skipped)
+            total_skipped += round_skipped
+            if changed == 0 or changed / n_players <= self.threshold:
+                break
+        return rounds, total_skipped
+
+    def _best_response_naive(
+        self, state: ReferenceGameState, strategies: Dict[int, List[int]]
+    ) -> int:
+        """The original full-rescan loop, kept verbatim as the baseline."""
         player_order = sorted(strategies)
         n_players = len(player_order)
         rounds = 0
@@ -176,24 +326,52 @@ class DASCGame(BatchAllocator):
         instance: ProblemInstance,
         previously_assigned: AbstractSet[int],
     ) -> Assignment:
+        """Greedy pass giving contention losers the still-open ready tasks.
+
+        Replays the original restart-scan order exactly, but maintains the
+        ``assigned_tasks`` / ``busy`` sets incrementally (they only grow) and
+        only rewinds the scan when the added task unlocks a dependent —
+        otherwise no earlier idle worker can have gained an option, so the
+        rescan would provably re-skip them all.
+        """
         graph = instance.dependency_graph
-        changed = True
-        while changed:
-            changed = False
-            assigned_tasks = assignment.assigned_tasks() | set(previously_assigned)
-            busy = assignment.assigned_workers()
-            for worker_id in sorted(strategies):
-                if worker_id in busy:
+        assigned_tasks: Set[int] = set(assignment.assigned_tasks())
+        assigned_tasks.update(previously_assigned)
+        busy: Set[int] = set(assignment.assigned_workers())
+        order = sorted(strategies)
+        index = 0
+        while index < len(order):
+            worker_id = order[index]
+            if worker_id in busy:
+                index += 1
+                continue
+            picked: Optional[int] = None
+            for task_id in strategies[worker_id]:
+                if task_id in assigned_tasks:
                     continue
-                for task_id in strategies[worker_id]:
-                    if task_id in assigned_tasks:
-                        continue
-                    if task_id in graph and not graph.satisfied(task_id, assigned_tasks):
-                        continue
-                    assignment.add(worker_id, task_id)
-                    changed = True
-                    break
-                else:
+                if task_id in graph and not graph.satisfied(task_id, assigned_tasks):
                     continue
-                break  # recompute the assigned sets before the next pick
+                picked = task_id
+                break
+            if picked is None:
+                index += 1
+                continue
+            assignment.add(worker_id, picked)
+            busy.add(worker_id)
+            assigned_tasks.add(picked)
+            index = 0 if self._unlocks_dependent(graph, picked, assigned_tasks) else index + 1
         return assignment
+
+    @staticmethod
+    def _unlocks_dependent(
+        graph, task_id: int, assigned_tasks: Set[int]
+    ) -> bool:
+        """Whether assigning ``task_id`` made some open dependent ready."""
+        if task_id not in graph:
+            return False
+        for dependent in graph.direct_dependents(task_id):
+            if dependent not in assigned_tasks and graph.satisfied(
+                dependent, assigned_tasks
+            ):
+                return True
+        return False

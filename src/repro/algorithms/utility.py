@@ -15,6 +15,24 @@ choosing it.  With no carry-over from previous batches this makes
 ``Sum(M) = sum_w U_w`` (the observation of Section IV-B), which the test
 suite verifies.
 
+Incremental evaluation
+----------------------
+:class:`GameState` is the *incremental* implementation driving the
+best-response hot loop: it memoises each task's hypothetical value
+``q(t | a_t = 1)`` and the unassigned-dependency counts behind the
+``deps_satisfied`` indicator, maintains an O(1) task → workers contention
+multimap, and invalidates only the O(degree)
+:meth:`~repro.core.dependency.DependencyGraph.influence_set` neighbourhood
+when an assignment indicator actually flips.  Every float it returns is
+**bit-identical** to a from-scratch graph walk: cached recomputations
+replay the exact addition order of the original frozenset iteration (the
+adjacency snapshots preserve it) and reuse the same expressions, so argmax
+decisions — and therefore whole game runs — cannot diverge.
+
+:class:`ReferenceGameState` keeps the original walk-everything
+implementation verbatim.  It is the oracle the randomized property suite
+compares against and the state behind ``DASCGame(incremental=False)``.
+
 Potentials
 ----------
 ``potential()`` is the harmonic-number potential
@@ -31,9 +49,8 @@ is what the convergence tests rely on.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.core.constraints import FeasibilityChecker
 from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 
@@ -60,6 +77,17 @@ class GameState:
         previously_assigned: task ids matched in earlier batches — they count
             as assigned for every indicator ``a_f``.
         alpha: the normalisation parameter of Eq. 3 (must exceed 1).
+
+    Counters (never fed back into any decision):
+
+    * ``evaluations`` — candidate utilities requested
+      (:meth:`candidate_utility` / :meth:`utility_of_choice` calls);
+    * ``value_recomputes`` — hypothetical task values actually computed
+      (cache misses plus masked withdrawn-view evaluations);
+    * ``cache_hits`` — hypothetical values served from the memo.
+
+    Within a best-response run ``evaluations == cache_hits +
+    value_recomputes`` (pinned by the counter tests).
     """
 
     def __init__(
@@ -78,6 +106,20 @@ class GameState:
         self.prev = frozenset(previously_assigned)
         self.choice: Dict[int, Optional[int]] = {w: None for w in players}
         self.nw: Dict[int, int] = {}
+        #: task -> workers currently choosing it (the contention multimap
+        #: behind O(1) ``workers_on`` / extraction).
+        self._members: Dict[int, Set[int]] = {}
+        # Same float the reference computes inline per call.
+        self._self_share = (alpha - 1.0) / alpha
+        #: task -> number of its direct dependencies currently unassigned
+        #: (the memoised ``deps_satisfied`` indicator), built lazily and
+        #: maintained by ``_flip``.
+        self._unassigned_deps: Dict[int, int] = {}
+        #: task -> memoised hypothetical value ``q(t | a_t = 1)``.
+        self._value_cache: Dict[int, float] = {}
+        self.evaluations = 0
+        self.value_recomputes = 0
+        self.cache_hits = 0
 
     # -- profile mutation -----------------------------------------------------------
 
@@ -88,13 +130,42 @@ class GameState:
             return
         if old is not None:
             remaining = self.nw[old] - 1
+            self._members[old].discard(worker_id)
             if remaining:
                 self.nw[old] = remaining
             else:
                 del self.nw[old]
+                if old not in self.prev:
+                    self._flip(old, became_assigned=False)
         if task_id is not None:
-            self.nw[task_id] = self.nw.get(task_id, 0) + 1
+            count = self.nw.get(task_id, 0)
+            self.nw[task_id] = count + 1
+            members = self._members.get(task_id)
+            if members is None:
+                members = self._members[task_id] = set()
+            members.add(worker_id)
+            if count == 0 and task_id not in self.prev:
+                self._flip(task_id, became_assigned=True)
         self.choice[worker_id] = task_id
+
+    def _flip(self, task_id: int, became_assigned: bool) -> None:
+        """Indicator ``a_task_id`` flipped: patch counts, drop stale values.
+
+        Only the O(degree) influence neighbourhood is touched — the
+        unassigned-dependency count of every direct dependent, and the
+        memoised values of the tasks whose Eq. 3 formula reads the flipped
+        indicator.
+        """
+        delta = -1 if became_assigned else 1
+        graph = self.graph
+        counts = self._unassigned_deps
+        for dependent in graph.dependent_tuple(task_id):
+            if dependent in counts:
+                counts[dependent] += delta
+        cache = self._value_cache
+        for affected in graph.influence_set(task_id):
+            if affected in cache:
+                del cache[affected]
 
     # -- indicators -------------------------------------------------------------------
 
@@ -102,11 +173,26 @@ class GameState:
         """``a_t``: the task is chosen by some worker or previously matched."""
         return self.nw.get(task_id, 0) > 0 or task_id in self.prev
 
+    def _pending_deps(self, task_id: int) -> int:
+        """Memoised count of ``task_id``'s currently-unassigned dependencies."""
+        counts = self._unassigned_deps
+        count = counts.get(task_id)
+        if count is None:
+            count = sum(
+                1
+                for dep in self.graph.dependency_tuple(task_id)
+                if not self.assigned(dep)
+            )
+            counts[task_id] = count
+        return count
+
     def deps_satisfied(self, task_id: int, extra: Optional[int] = None) -> bool:
         """``prod_{f in D_t} a_f = 1``, optionally counting ``extra`` as assigned."""
+        if extra is None:
+            return self._pending_deps(task_id) == 0
         return all(
             f == extra or self.assigned(f)
-            for f in self.graph.direct_dependencies(task_id)
+            for f in self.graph.dependency_tuple(task_id)
         )
 
     def fully_realised(self, task_id: int, extra: Optional[int] = None) -> bool:
@@ -121,32 +207,132 @@ class GameState:
         """``q(t)``: the value currently realised at task ``t`` (Eq. 3 numerators).
 
         ``extra`` marks one task hypothetically assigned (used when
-        evaluating a candidate move before committing it).
+        evaluating a candidate move before committing it).  The hot
+        ``extra == task_id`` form is served from the value memo; other
+        forms recompute directly.
         """
-        deps = self.graph.direct_dependencies(task_id)
+        if extra == task_id and task_id is not None:
+            return self._hypothetical_value(task_id)
+        self.value_recomputes += 1
+        return self._value_walk(task_id, extra)
+
+    def _value_walk(self, task_id: int, extra: Optional[int]) -> float:
+        """The reference computation, over order-preserving snapshots."""
+        graph = self.graph
+        deps = graph.dependency_tuple(task_id)
         if deps:
-            value = (self.alpha - 1.0) / self.alpha if self.deps_satisfied(task_id, extra) else 0.0
+            value = self._self_share if self.deps_satisfied(task_id, extra) else 0.0
         else:
             value = 1.0
-        for dependent in self.graph.direct_dependents(task_id):
-            d_size = len(self.graph.direct_dependencies(dependent))
+        alpha = self.alpha
+        for dependent in graph.dependent_tuple(task_id):
+            d_size = len(graph.dependency_tuple(dependent))
             if self.fully_realised(dependent, extra):
-                value += 1.0 / (self.alpha * d_size)
+                value += 1.0 / (alpha * d_size)
         return value
+
+    def _hypothetical_value(self, task_id: int) -> float:
+        """Memoised ``q(t | a_t = 1)`` — the Eq. 3 numerator of a candidate."""
+        cache = self._value_cache
+        value = cache.get(task_id)
+        if value is not None:
+            self.cache_hits += 1
+            return value
+        self.value_recomputes += 1
+        graph = self.graph
+        deps = graph.dependency_tuple(task_id)
+        if deps:
+            value = self._self_share if self._pending_deps(task_id) == 0 else 0.0
+        else:
+            value = 1.0
+        alpha = self.alpha
+        own_unassigned = not self.assigned(task_id)
+        for dependent in graph.dependent_tuple(task_id):
+            if not self.assigned(dependent):
+                continue
+            pending = self._pending_deps(dependent)
+            # All of the dependent's dependencies except task_id itself are
+            # assigned: either none is pending, or the single pending one is
+            # task_id (which the hypothetical masks as assigned).
+            if pending == 0 or (pending == 1 and own_unassigned):
+                value += 1.0 / (alpha * len(graph.dependency_tuple(dependent)))
+        cache[task_id] = value
+        return value
+
+    def _masked_value(self, task_id: int, masked: int) -> float:
+        """``q(t | a_t = 1)`` with ``a_masked`` forced to 0 (withdrawn view).
+
+        Used when the evaluating worker is the sole chooser of ``masked``:
+        its withdrawal flips that one indicator, so candidates whose value
+        reads it cannot come from the (global-view) memo.  Replays the
+        reference addition order exactly.
+        """
+        self.value_recomputes += 1
+        graph = self.graph
+        deps = graph.dependency_tuple(task_id)
+        if deps:
+            satisfied = True
+            for dep in deps:
+                if dep == masked or not self.assigned(dep):
+                    satisfied = False
+                    break
+            value = self._self_share if satisfied else 0.0
+        else:
+            value = 1.0
+        alpha = self.alpha
+        for dependent in graph.dependent_tuple(task_id):
+            if dependent == masked or not self.assigned(dependent):
+                continue
+            d_deps = graph.dependency_tuple(dependent)
+            satisfied = True
+            for dep in d_deps:
+                if dep == task_id:  # the hypothetical assignment
+                    continue
+                if dep == masked or not self.assigned(dep):
+                    satisfied = False
+                    break
+            if satisfied:
+                value += 1.0 / (alpha * len(d_deps))
+        return value
+
+    def candidate_utility(self, worker_id: int, task_id: int) -> float:
+        """``U_w(task_id, s̄_w)`` — no withdrawal required.
+
+        Evaluates the candidate in the as-if-withdrawn view *without
+        mutating the profile*: the view differs from the global state only
+        when the worker is the sole chooser of its current task (that one
+        indicator reads 0), which the masked path handles.  Keeping
+        evaluation read-only is what lets the memo and the dirty-set
+        scheduler survive a full best-response sweep untouched.
+        """
+        self.evaluations += 1
+        current = self.choice[worker_id]
+        crowd = self.nw.get(task_id, 0) + 1
+        if current is not None:
+            if current == task_id:
+                # A task's hypothetical value never reads its own indicator,
+                # so the global memo is exact even for the sole chooser.
+                return self._hypothetical_value(task_id) / (crowd - 1)
+            if self.nw[current] == 1 and current not in self.prev:
+                if task_id in self.graph.influence_frozenset(current):
+                    return self._masked_value(task_id, current) / crowd
+        return self._hypothetical_value(task_id) / crowd
 
     def utility_of_choice(self, worker_id: int, task_id: int) -> float:
         """``U_w(s_w, s̄_w)`` if ``worker_id`` (currently withdrawn) picks ``task_id``.
 
         The caller must first ``set_choice(worker_id, None)`` so the counts
         describe the *other* players; this method then adds the worker
-        hypothetically.
+        hypothetically.  (:meth:`candidate_utility` is the withdrawal-free
+        equivalent the incremental loop uses.)
         """
         if self.choice[worker_id] is not None:
             raise ValueError(
                 f"worker {worker_id} must be withdrawn before evaluating candidates"
             )
+        self.evaluations += 1
         crowd = self.nw.get(task_id, 0) + 1
-        return self.task_value(task_id, extra=task_id) / crowd
+        return self._hypothetical_value(task_id) / crowd
 
     def utility(self, worker_id: int) -> float:
         """``U_w`` under the worker's committed strategy (0 when idle)."""
@@ -188,4 +374,113 @@ class GameState:
 
     def workers_on(self, task_id: int) -> List[int]:
         """Workers whose strategy is ``task_id``, sorted for determinism."""
+        return sorted(self._members.get(task_id, ()))
+
+
+class ReferenceGameState:
+    """The original walk-everything game state, kept verbatim as an oracle.
+
+    Every query recomputes from the dependency graph; nothing is cached and
+    nothing is maintained incrementally.  The randomized property suite
+    pins :class:`GameState` against this class float-for-float, and
+    ``DASCGame(incremental=False)`` runs its naive best-response loop on it
+    so the counter-based speedup of the incremental engine can be measured
+    against an honest baseline.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        tasks: Sequence[Task],
+        players: Iterable[int],
+        previously_assigned: AbstractSet[int] = frozenset(),
+        alpha: float = 10.0,
+    ) -> None:
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must be > 1, got {alpha}")
+        self.alpha = alpha
+        self.graph = instance.dependency_graph
+        self.batch_task_ids = {t.id for t in tasks}
+        self.prev = frozenset(previously_assigned)
+        self.choice: Dict[int, Optional[int]] = {w: None for w in players}
+        self.nw: Dict[int, int] = {}
+        self.evaluations = 0
+        self.value_recomputes = 0
+        self.cache_hits = 0  # always 0: there is no cache to hit
+
+    def set_choice(self, worker_id: int, task_id: Optional[int]) -> None:
+        """Move ``worker_id`` to ``task_id`` (None = withdraw)."""
+        old = self.choice[worker_id]
+        if old == task_id:
+            return
+        if old is not None:
+            remaining = self.nw[old] - 1
+            if remaining:
+                self.nw[old] = remaining
+            else:
+                del self.nw[old]
+        if task_id is not None:
+            self.nw[task_id] = self.nw.get(task_id, 0) + 1
+        self.choice[worker_id] = task_id
+
+    def assigned(self, task_id: int) -> bool:
+        return self.nw.get(task_id, 0) > 0 or task_id in self.prev
+
+    def deps_satisfied(self, task_id: int, extra: Optional[int] = None) -> bool:
+        return all(
+            f == extra or self.assigned(f)
+            for f in self.graph.direct_dependencies(task_id)
+        )
+
+    def fully_realised(self, task_id: int, extra: Optional[int] = None) -> bool:
+        if not (task_id == extra or self.assigned(task_id)):
+            return False
+        return self.deps_satisfied(task_id, extra)
+
+    def task_value(self, task_id: int, extra: Optional[int] = None) -> float:
+        self.value_recomputes += 1
+        deps = self.graph.direct_dependencies(task_id)
+        if deps:
+            value = (self.alpha - 1.0) / self.alpha if self.deps_satisfied(task_id, extra) else 0.0
+        else:
+            value = 1.0
+        for dependent in self.graph.direct_dependents(task_id):
+            d_size = len(self.graph.direct_dependencies(dependent))
+            if self.fully_realised(dependent, extra):
+                value += 1.0 / (self.alpha * d_size)
+        return value
+
+    def utility_of_choice(self, worker_id: int, task_id: int) -> float:
+        if self.choice[worker_id] is not None:
+            raise ValueError(
+                f"worker {worker_id} must be withdrawn before evaluating candidates"
+            )
+        self.evaluations += 1
+        crowd = self.nw.get(task_id, 0) + 1
+        return self.task_value(task_id, extra=task_id) / crowd
+
+    def utility(self, worker_id: int) -> float:
+        task_id = self.choice[worker_id]
+        if task_id is None:
+            return 0.0
+        return self.task_value(task_id) / self.nw[task_id]
+
+    def total_utility(self) -> float:
+        return sum(self.utility(w) for w in self.choice)
+
+    def potential(self) -> float:
+        return sum(
+            self.task_value(tid) * harmonic(count) for tid, count in self.nw.items()
+        )
+
+    def potential_paper(self) -> float:
+        return -sum(
+            1.0 / (count + 1) if self.fully_realised(tid) else 0.0
+            for tid, count in self.nw.items()
+        )
+
+    def chosen_tasks(self) -> List[int]:
+        return sorted(self.nw)
+
+    def workers_on(self, task_id: int) -> List[int]:
         return sorted(w for w, t in self.choice.items() if t == task_id)

@@ -67,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=7)
     solve.add_argument("--batch-interval", type=float, default=None, help="run the dynamic platform with this interval instead of a single batch")
     solve.add_argument("--no-engine", action="store_true", help="disable the shared allocation engine (fresh feasibility rebuild per batch)")
+    solve.add_argument(
+        "--naive-game",
+        action="store_true",
+        help="run the game approaches with the naive full-rescan best-response "
+        "loop instead of the dirty-set engine (bit-identical output, more work "
+        "— for measuring the incremental engine's savings)",
+    )
     solve.add_argument("--engine-stats", action="store_true", help="print the engine's counters after a platform run")
     solve.add_argument(
         "--jobs",
@@ -216,7 +223,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    allocator = make_allocator(args.approach, seed=args.seed)
+    allocator = make_allocator(
+        args.approach, seed=args.seed, game_incremental=not args.naive_game
+    )
     tracer = _obs_tracer(args)
     metrics_registry = None
     if args.batch_interval:

@@ -7,7 +7,10 @@ and offers:
 * transitive closure (``ancestors``) and its dual (``descendants``);
 * the associative task sets ``tc_i = {t_i} ∪ closure(D_i)`` driving
   ``DASC_Greedy``;
-* dependency-satisfaction tests against a set of already-assigned ids.
+* dependency-satisfaction tests against a set of already-assigned ids;
+* adjacency *snapshots* (:meth:`dependency_tuple` / :meth:`dependent_tuple`)
+  and the Eq. 3 *influence set* (:meth:`influence_set`) backing the
+  incremental best-response engine of :mod:`repro.algorithms.utility`.
 """
 
 from __future__ import annotations
@@ -62,6 +65,13 @@ class DependencyGraph:
         self._ancestors = self._close()
         self._dependents = self._invert(self._direct)
         self._descendants = self._invert(self._ancestors)
+        # Lazily-built adjacency snapshots (tuples preserving the frozenset
+        # iteration order, so cached float summations replay the exact
+        # addition order of a direct frozenset walk) and influence sets.
+        self._dep_tuples: Dict[int, tuple] = {}
+        self._dependent_tuples: Dict[int, tuple] = {}
+        self._influence: Dict[int, tuple] = {}
+        self._influence_sets: Dict[int, FrozenSet[int]] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -96,6 +106,57 @@ class DependencyGraph:
     def descendants(self, tid: int) -> FrozenSet[int]:
         """Tasks transitively depending on ``tid``."""
         return self._descendants[tid]
+
+    # -- adjacency snapshots ---------------------------------------------------
+
+    def dependency_tuple(self, tid: int) -> tuple:
+        """``D_t`` as a cached tuple, in ``direct_dependencies`` iteration order."""
+        snap = self._dep_tuples.get(tid)
+        if snap is None:
+            snap = self._dep_tuples[tid] = tuple(self._direct[tid])
+        return snap
+
+    def dependent_tuple(self, tid: int) -> tuple:
+        """Direct dependents as a cached tuple, in ``direct_dependents`` order."""
+        snap = self._dependent_tuples.get(tid)
+        if snap is None:
+            snap = self._dependent_tuples[tid] = tuple(self._dependents[tid])
+        return snap
+
+    def influence_set(self, tid: int) -> tuple:
+        """Tasks whose Eq. 3 value reads the assignment indicator ``a_tid``.
+
+        ``task_value(t)`` reads ``a_f`` for ``f`` in ``D_t`` (the
+        dependency gate), for each direct dependent ``d`` of ``t`` (its own
+        indicator) and for every dependency of those dependents (their
+        gates).  Inverting that read relation gives the set of tasks whose
+        value can change when ``a_tid`` flips::
+
+            influence(tid) = D_tid ∪ dependents(tid)
+                             ∪ (∪_{d in dependents(tid)} D_d) \\ {tid}
+
+        ``tid`` itself is excluded: a task's hypothetical value never reads
+        its own indicator (``extra`` masks it).  The result drives both
+        value-cache invalidation and dirty-worker scheduling, so each flip
+        touches only an O(degree) neighbourhood instead of the whole graph.
+        """
+        cached = self._influence.get(tid)
+        if cached is None:
+            affected = dict.fromkeys(self._direct[tid])
+            for dependent in self._dependents[tid]:
+                affected[dependent] = None
+                for dep in self._direct[dependent]:
+                    affected[dep] = None
+            affected.pop(tid, None)
+            cached = self._influence[tid] = tuple(affected)
+        return cached
+
+    def influence_frozenset(self, tid: int) -> FrozenSet[int]:
+        """:meth:`influence_set` as a cached frozenset (membership probes)."""
+        cached = self._influence_sets.get(tid)
+        if cached is None:
+            cached = self._influence_sets[tid] = frozenset(self.influence_set(tid))
+        return cached
 
     def roots(self) -> List[int]:
         """Tasks with no dependencies, in id order."""

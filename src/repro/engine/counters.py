@@ -37,6 +37,17 @@ _COUNTER_FIELDS = (
     ("time_filtered", "cheap per-batch deadline re-checks of cached pairs"),
     ("cache_hits", "distance-cache hits"),
     ("cache_misses", "distance-cache misses (actual metric evaluations)"),
+    ("game_rounds", "best-response rounds run by DASC_Game"),
+    ("game_evaluations", "candidate utilities evaluated in best response"),
+    (
+        "game_value_recomputes",
+        "task values actually recomputed (utility-cache misses)",
+    ),
+    ("game_cache_hits", "task values served from the utility memo"),
+    (
+        "game_skipped_workers",
+        "worker evaluations skipped by the dirty-set scheduler",
+    ),
 )
 
 FIELD_NAMES = tuple(name for name, _ in _COUNTER_FIELDS)
@@ -68,6 +79,28 @@ class EngineCounters:
         """
         counters = self._counters
         return {f"{prefix}{name}": float(counters[name].value) for name in FIELD_NAMES}
+
+    def add_game_work(
+        self,
+        rounds: int,
+        evaluations: int,
+        value_recomputes: int,
+        cache_hits: int,
+        skipped: int,
+    ) -> None:
+        """Bulk-add one game run's work totals (one call per allocation).
+
+        Keeping the per-candidate increments on the
+        :class:`~repro.algorithms.utility.GameState` ints and folding them
+        in here once keeps the best-response hot loop free of façade
+        overhead, per the engine's bulk-add convention.
+        """
+        counters = self._counters
+        counters["game_rounds"].value += rounds
+        counters["game_evaluations"].value += evaluations
+        counters["game_value_recomputes"].value += value_recomputes
+        counters["game_cache_hits"].value += cache_hits
+        counters["game_skipped_workers"].value += skipped
 
     def delta_since(
         self, snapshot: Dict[str, float], prefix: str = "engine_"

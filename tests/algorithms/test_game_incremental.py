@@ -1,0 +1,143 @@
+"""Bit-identity of the incremental best-response engine vs the naive loop.
+
+The dirty-set scheduler and utility cache must not change a single output:
+same assignment pairs, same score, same rounds-to-convergence, for every
+game configuration, seed, and wrapper.  Only the work counters may differ —
+and those must obey the accounting invariants.
+"""
+
+import pytest
+
+from repro.algorithms.game import DASCGame
+from repro.algorithms.local_search import LocalSearchImprover
+from repro.algorithms.registry import make_allocator
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.engine.context import BatchContext
+from repro.simulation.platform import Platform
+
+SEEDS = [0, 1, 2]
+
+CONFIGS = {
+    "game": dict(threshold=0.0, init="random"),
+    "game5": dict(threshold=0.05, init="random"),
+    "gg": dict(threshold=0.0, init="greedy"),
+    "reassign": dict(threshold=0.0, init="random", reassign_losers=True),
+}
+
+
+def _instance(seed):
+    return generate_synthetic(SyntheticConfig(seed=seed).scaled(0.02))
+
+
+def _context(instance):
+    return BatchContext.standalone(
+        instance.workers, instance.tasks, instance, instance.earliest_start
+    )
+
+
+def _pair(instance, seed, **kwargs):
+    """(incremental outcome, naive outcome) on fresh standalone contexts."""
+    incremental = DASCGame(seed=seed, incremental=True, **kwargs)
+    naive = DASCGame(seed=seed, incremental=False, **kwargs)
+    return (
+        incremental.allocate(_context(instance)),
+        naive.allocate(_context(instance)),
+    )
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSingleBatchBitIdentity:
+    def test_same_assignment_and_rounds(self, seed, config):
+        instance = _instance(seed)
+        fast, slow = _pair(instance, seed, **CONFIGS[config])
+        assert sorted(fast.assignment.pairs()) == sorted(slow.assignment.pairs())
+        assert fast.assignment.score == slow.assignment.score
+        assert fast.stats["rounds"] == slow.stats["rounds"]
+
+    def test_counter_invariants(self, seed, config):
+        instance = _instance(seed)
+        fast, slow = _pair(instance, seed, **CONFIGS[config])
+        # Every evaluation is either a memo hit or an actual value walk.
+        assert (
+            fast.stats["evaluations"]
+            == fast.stats["cache_hits"] + fast.stats["value_recomputes"]
+        )
+        # The naive loop walks the graph for every single evaluation.
+        assert slow.stats["cache_hits"] == 0.0
+        assert slow.stats["skipped_workers"] == 0.0
+        assert slow.stats["evaluations"] == slow.stats["value_recomputes"]
+        # The incremental loop never does *more* of either kind of work.
+        assert fast.stats["evaluations"] <= slow.stats["evaluations"]
+        assert fast.stats["value_recomputes"] < slow.stats["value_recomputes"]
+
+
+class TestLocalSearchWrapper:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plus_ls_output_identical(self, seed):
+        instance = _instance(seed)
+        fast = LocalSearchImprover(DASCGame(seed=seed, incremental=True))
+        slow = LocalSearchImprover(DASCGame(seed=seed, incremental=False))
+        a = fast.allocate(_context(instance)).assignment
+        b = slow.allocate(_context(instance)).assignment
+        assert sorted(a.pairs()) == sorted(b.pairs())
+
+
+class TestPlatformBitIdentity:
+    @pytest.mark.parametrize("approach", ["Game", "Game-5%", "G-G"])
+    def test_full_run_reports_match(self, approach):
+        instance = generate_synthetic(SyntheticConfig(seed=5).scaled(0.015))
+        reports = []
+        for incremental in (True, False):
+            allocator = make_allocator(approach, seed=5, game_incremental=incremental)
+            platform = Platform(instance, allocator, batch_interval=40.0)
+            reports.append(platform.run())
+        fast, slow = reports
+        assert fast.assignments == slow.assignments
+        assert fast.total_score == slow.total_score
+        assert fast.expired_tasks == slow.expired_tasks
+        assert fast.completion_times == slow.completion_times
+        assert [r.score for r in fast.batches] == [r.score for r in slow.batches]
+
+    def test_game_counters_reach_engine_stats(self):
+        instance = generate_synthetic(SyntheticConfig(seed=5).scaled(0.015))
+        platform = Platform(
+            instance, make_allocator("Game", seed=5), batch_interval=40.0
+        )
+        report = platform.run()
+        assert report.engine_stats["engine_game_rounds"] >= 1.0
+        assert report.engine_stats["engine_game_evaluations"] > 0.0
+        assert report.engine_stats["engine_game_evaluations"] == (
+            report.engine_stats["engine_game_cache_hits"]
+            + report.engine_stats["engine_game_value_recomputes"]
+        )
+
+
+class TestStatsSurface:
+    def test_outcome_stats_keys(self):
+        instance = _instance(0)
+        outcome = DASCGame(seed=0).allocate(_context(instance))
+        assert set(outcome.stats) >= {
+            "rounds",
+            "evaluations",
+            "value_recomputes",
+            "cache_hits",
+            "skipped_workers",
+        }
+
+    def test_round_span_emitted_when_traced(self):
+        from repro.obs import Tracer
+
+        instance = _instance(0)
+        tracer = Tracer()
+        context = BatchContext.standalone(
+            instance.workers, instance.tasks, instance, instance.earliest_start
+        )
+        context.tracer = tracer
+        outcome = DASCGame(seed=0).allocate(context)
+        rounds = [s for s in tracer.finished if s.name == "alloc.game.round"]
+        assert len(rounds) == int(outcome.stats["rounds"])
+        assert rounds[0].attrs is not None
+        assert set(rounds[0].attrs) == {"round", "changed", "evaluated", "skipped"}
+        # First round evaluates everyone; later rounds are where skips appear.
+        assert rounds[0].attrs["skipped"] == 0

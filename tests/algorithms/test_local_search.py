@@ -85,3 +85,117 @@ class TestLocalSearchImprover:
             small_synthetic, LocalSearchImprover(DASCGame(seed=2))
         ).score
         assert polished >= base
+
+
+# -- incremental-state equivalence ----------------------------------------------
+
+
+def _reference_improve(assignment, checker, instance, previously_assigned=frozenset(),
+                       max_passes=10):
+    """The historical rebuild-per-sweep implementation, kept as an oracle."""
+    from repro.engine.context import ReadinessView
+
+    graph = instance.dependency_graph
+    all_workers = {w.id for w in checker.workers}
+    all_tasks = {t.id for t in checker.tasks}
+
+    def fill_pass():
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            readiness = ReadinessView(
+                graph, previously_assigned, assignment.assigned_tasks()
+            )
+            idle = sorted(all_workers - assignment.assigned_workers())
+            open_tasks = set(all_tasks) - assignment.assigned_tasks()
+            for worker_id in idle:
+                for task_id in checker.tasks_of(worker_id):
+                    if task_id not in open_tasks:
+                        continue
+                    if not readiness.ready(task_id):
+                        continue
+                    assignment.add(worker_id, task_id)
+                    readiness.mark(task_id)
+                    open_tasks.discard(task_id)
+                    progress = True
+                    changed = True
+                    break
+        return changed
+
+    def relocate_pass():
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            readiness = ReadinessView(
+                graph, previously_assigned, assignment.assigned_tasks()
+            )
+            idle = sorted(all_workers - assignment.assigned_workers())
+            open_tasks = set(all_tasks) - assignment.assigned_tasks()
+            open_ready = [t for t in sorted(open_tasks) if readiness.ready(t)]
+            if not idle or not open_ready:
+                break
+            idle_set = set(idle)
+            for worker_id, task_id in list(assignment.pairs()):
+                substitute = next(
+                    (w for w in checker.workers_of(task_id) if w in idle_set), None
+                )
+                if substitute is None:
+                    continue
+                feasible = set(checker.tasks_of(worker_id))
+                extra = next((t for t in open_ready if t in feasible), None)
+                if extra is None:
+                    continue
+                assignment.remove_task(task_id)
+                assignment.add(substitute, task_id)
+                assignment.add(worker_id, extra)
+                idle_set.discard(substitute)
+                open_ready.remove(extra)
+                progress = True
+                changed = True
+                if not idle_set or not open_ready:
+                    break
+        return changed
+
+    for _ in range(max_passes):
+        changed = fill_pass()
+        changed |= relocate_pass()
+        if not changed:
+            break
+    return assignment
+
+
+class TestIncrementalEquivalence:
+    """The maintained-view sweeps replay the rebuild-per-sweep moves exactly."""
+
+    def _compare(self, instance, base, now):
+        checker = FeasibilityChecker(instance.workers, instance.tasks, now=now)
+        seed_assignment = run_single_batch(instance, base, now=now).assignment
+        fast = improve_assignment(seed_assignment.copy(), checker, instance)
+        slow = _reference_improve(seed_assignment.copy(), checker, instance)
+        assert sorted(fast.pairs()) == sorted(slow.pairs())
+
+    def test_matches_reference_on_example1(self, example1):
+        self._compare(example1, DASCGreedy(), example1.earliest_start)
+
+    def test_matches_reference_on_small_synthetic(self, small_synthetic):
+        now = small_synthetic.earliest_start
+        for base in (DASCGreedy(), RandomBaseline(seed=3), DASCGame(seed=3)):
+            self._compare(small_synthetic, base, now)
+
+    def test_matches_reference_from_empty(self, small_synthetic):
+        instance = small_synthetic
+        checker = FeasibilityChecker(
+            instance.workers, instance.tasks, now=instance.earliest_start
+        )
+        fast = improve_assignment(Assignment(), checker, instance)
+        slow = _reference_improve(Assignment(), checker, instance)
+        assert sorted(fast.pairs()) == sorted(slow.pairs())
+
+    def test_matches_reference_with_previously_assigned(self, example1):
+        checker = FeasibilityChecker(example1.workers, example1.tasks)
+        prev = frozenset({1})
+        fast = improve_assignment(Assignment(), checker, example1, prev)
+        slow = _reference_improve(Assignment(), checker, example1, prev)
+        assert sorted(fast.pairs()) == sorted(slow.pairs())

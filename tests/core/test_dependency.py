@@ -126,3 +126,60 @@ class TestDeepChain:
         assert graph.ancestors(n - 1) == frozenset(range(n - 1))
         assert graph.depth(n - 1) == n - 1
         assert graph.topological_order() == list(range(n))
+
+
+class TestAdjacencySnapshots:
+    def test_tuples_preserve_frozenset_iteration_order(self):
+        graph = diamond()
+        for tid in graph:
+            assert graph.dependency_tuple(tid) == tuple(graph.direct_dependencies(tid))
+            assert graph.dependent_tuple(tid) == tuple(graph.direct_dependents(tid))
+
+    def test_tuples_are_cached(self):
+        graph = diamond()
+        assert graph.dependency_tuple(4) is graph.dependency_tuple(4)
+        assert graph.dependent_tuple(1) is graph.dependent_tuple(1)
+        assert graph.influence_set(1) is graph.influence_set(1)
+
+    def test_influence_matches_bruteforce_read_set(self):
+        import random as _random
+
+        from repro.datagen.dependencies import wire_dependencies
+        from repro.datagen.distributions import IntRange
+
+        for seed in range(20):
+            rng = _random.Random(seed)
+            deps = wire_dependencies(list(range(10)), IntRange(0, 4), rng)
+            graph = DependencyGraph(deps)
+
+            def reads(tid):
+                # indicators task_value(tid) touches: the dependency gate,
+                # each dependent, and each dependent's gate — minus tid
+                # itself (extra masks it).
+                out = set(graph.direct_dependencies(tid))
+                for d in graph.direct_dependents(tid):
+                    out.add(d)
+                    out |= graph.direct_dependencies(d)
+                out.discard(tid)
+                return out
+
+            for flipped in graph:
+                expected = {t for t in graph if flipped in reads(t)}
+                assert set(graph.influence_set(flipped)) == expected
+                assert graph.influence_frozenset(flipped) == frozenset(expected)
+
+    def test_influence_excludes_self(self):
+        graph = diamond()
+        for tid in graph:
+            assert tid not in graph.influence_set(tid)
+
+    def test_influence_of_diamond_root(self):
+        graph = diamond()
+        # 1's value reads nothing upward; 2 and 3 read a_1 via their gates,
+        # and 1 reads a_2/a_3 (dependents) — so flipping 1 affects {2, 3}.
+        assert set(graph.influence_set(1)) == {2, 3}
+        # flipping 4 affects its dependencies' dependent-sums: {2, 3}.
+        assert set(graph.influence_set(4)) == {2, 3}
+        # flipping 2 affects 1 (dependent-sum), 4 (gate) and 3 (sibling in
+        # 4's gate).
+        assert set(graph.influence_set(2)) == {1, 3, 4}

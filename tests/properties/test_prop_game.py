@@ -1,11 +1,19 @@
-"""Property-based tests for the game: Eq. 3 decomposition and potentials."""
+"""Property-based tests for the game: Eq. 3 decomposition and potentials.
+
+The incremental :class:`GameState` (value memo, unassigned-dependency
+counts, contention multimap) is additionally pinned float-for-float against
+:class:`ReferenceGameState` — the verbatim pre-cache implementation — under
+arbitrary move sequences, withdrawn-view candidate evaluations, and whole
+game runs.  Equality below is exact (``==`` on floats), because bit-identity
+is the engine's contract, not approximate agreement.
+"""
 
 import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms.utility import GameState
+from repro.algorithms.utility import GameState, ReferenceGameState
 from repro.core.instance import ProblemInstance
 from repro.core.skills import SkillUniverse
 from repro.core.task import Task
@@ -121,6 +129,121 @@ class TestExactPotential:
     def test_harmonic_potential_nonnegative(self, profile):
         state, _ = profile
         assert state.potential() >= -1e-12
+
+
+@st.composite
+def paired_states(draw):
+    """An incremental and a reference state plus a shared move script."""
+    n_tasks = draw(st.integers(2, 8))
+    max_deps = draw(st.integers(0, 3))
+    dep_seed = draw(st.integers(0, 1000))
+    alpha = draw(st.floats(1.5, 20.0))
+    prev = draw(st.sets(st.integers(0, n_tasks - 1), max_size=2))
+    instance = build_instance(n_tasks, dep_seed, max_deps)
+    players = list(range(n_tasks + 2))
+    fast = GameState(instance, instance.tasks, players, prev, alpha=alpha)
+    slow = ReferenceGameState(instance, instance.tasks, players, prev, alpha=alpha)
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(players),
+                st.one_of(st.none(), st.integers(0, n_tasks - 1)),
+            ),
+            max_size=25,
+        )
+    )
+    return fast, slow, moves, instance
+
+
+def _assert_states_identical(fast, slow, instance):
+    """Every observable of the two states, compared exactly."""
+    graph = instance.dependency_graph
+    assert fast.nw == slow.nw
+    assert fast.choice == slow.choice
+    assert fast.chosen_tasks() == slow.chosen_tasks()
+    for tid in graph:
+        assert fast.workers_on(tid) == slow.workers_on(tid)
+        assert fast.assigned(tid) == slow.assigned(tid)
+        assert fast.deps_satisfied(tid) == slow.deps_satisfied(tid)
+        assert fast.fully_realised(tid) == slow.fully_realised(tid)
+        assert fast.task_value(tid) == slow.task_value(tid)
+        assert fast.task_value(tid, extra=tid) == slow.task_value(tid, extra=tid)
+    for w in fast.choice:
+        assert fast.utility(w) == slow.utility(w)
+    assert fast.total_utility() == slow.total_utility()
+    assert fast.potential() == slow.potential()
+    assert fast.potential_paper() == slow.potential_paper()
+
+
+class TestIncrementalStateEquivalence:
+    @given(paired_states())
+    @settings(max_examples=80, deadline=None)
+    def test_identical_after_every_move(self, scenario):
+        fast, slow, moves, instance = scenario
+        for worker_id, task_id in moves:
+            fast.set_choice(worker_id, task_id)
+            slow.set_choice(worker_id, task_id)
+            _assert_states_identical(fast, slow, instance)
+
+    @given(paired_states())
+    @settings(max_examples=80, deadline=None)
+    def test_candidate_utility_matches_withdrawn_reference(self, scenario):
+        """The no-withdrawal evaluation path vs the reference protocol."""
+        fast, slow, moves, instance = scenario
+        n_tasks = len(instance.tasks)
+        for worker_id, task_id in moves:
+            fast.set_choice(worker_id, task_id)
+            slow.set_choice(worker_id, task_id)
+        for worker_id in fast.choice:
+            current = slow.choice[worker_id]
+            slow.set_choice(worker_id, None)
+            for candidate in range(n_tasks):
+                expected = slow.utility_of_choice(worker_id, candidate)
+                assert fast.candidate_utility(worker_id, candidate) == expected
+            slow.set_choice(worker_id, current)
+            # evaluation is read-only: the committed profile never moved
+            assert fast.choice[worker_id] == current
+
+    @given(paired_states())
+    @settings(max_examples=60, deadline=None)
+    def test_potential_identical_on_cached_path(self, scenario):
+        """The cached task_value path cannot bend the potential landscape."""
+        fast, slow, moves, instance = scenario
+        for worker_id, task_id in moves:
+            fast.set_choice(worker_id, task_id)
+            slow.set_choice(worker_id, task_id)
+            # same landscape point as the walk-everything reference...
+            assert fast.potential() == slow.potential()
+        # ...and as a state built from scratch at the final profile (no
+        # cache-drift accumulated over the whole move script).  Tolerance,
+        # not ==: potential() sums over nw in insertion order, and a fresh
+        # state's nw was populated in a different order than one that
+        # walked the move script — last-ulp drift there predates the cache
+        # and is not part of the bit-identity contract (which is about
+        # identical *trajectories*, pinned exactly above).
+        fresh = ReferenceGameState(
+            instance, instance.tasks, list(slow.choice), slow.prev,
+            alpha=slow.alpha,
+        )
+        for w, t in slow.choice.items():
+            fresh.set_choice(w, t)
+        assert abs(fast.potential() - fresh.potential()) < 1e-9
+
+    @given(paired_states(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_full_game_runs_identically(self, scenario, seed):
+        from repro.algorithms.game import DASCGame
+        from repro.simulation.platform import run_single_batch
+
+        _, _, _, instance = scenario
+        fast = run_single_batch(
+            instance, DASCGame(seed=seed, incremental=True), now=0.0
+        )
+        slow = run_single_batch(
+            instance, DASCGame(seed=seed, incremental=False), now=0.0
+        )
+        assert sorted(fast.assignment.pairs()) == sorted(slow.assignment.pairs())
+        assert fast.stats["rounds"] == slow.stats["rounds"]
 
 
 class TestBestResponseConvergence:
