@@ -4,7 +4,14 @@ Expected shape: scores rise with the distance budget for all six approaches;
 the proposed approaches dominate the baselines throughout.
 """
 
-from conftest import assert_proposed_beat_baselines, assert_trend
+import time
+
+from conftest import (
+    assert_proposed_beat_baselines,
+    assert_trend,
+    roadnet_counter_totals,
+    roadnet_metric_factory,
+)
 
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import run_fig3
@@ -20,3 +27,41 @@ def test_fig03_real_distance(benchmark, record_result):
     assert_trend(result.scores_of("Greedy"), "up")
     assert_trend(result.scores_of("Game"), "up")
     assert_trend(result.scores_of("Closest"), "up")
+
+
+def test_fig03_roadnet_variant(record_result, record_bench_json):
+    """The same sweep on a street grid instead of straight-line distances.
+
+    Road distances dominate euclidean ones, so absolute scores drop; the
+    qualitative shape (scores rise with the distance budget, the proposed
+    approach stays useful) must survive the substrate swap.  The run's
+    roadnet counters land in the trajectory file so CI can watch how much
+    settling the real workload costs.
+    """
+    networks = []
+    factory = roadnet_metric_factory(networks=networks)
+    started = time.perf_counter()
+    result = run_fig3(
+        seed=7, scale=0.5, approaches=["Greedy", "Closest"], metric_factory=factory
+    )
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    record_result("fig03_roadnet_variant", format_sweep(result))
+
+    greedy = result.scores_of("Greedy")
+    assert sum(greedy) > 0
+    assert_trend(greedy, "up")
+    assert networks, "the factory never built a network"
+
+    totals = roadnet_counter_totals(networks)
+    record_bench_json(
+        "fig03_roadnet_variant",
+        {
+            "experiment": "fig3",
+            "scale": 0.5,
+            "approaches": "Greedy,Closest",
+            "grid": "12x12 per sweep point",
+            "family": "repro.bench/roadnet/v1",
+        },
+        wall_ms,
+        dict(totals, networks=float(len(networks)), greedy_total=float(sum(greedy))),
+    )

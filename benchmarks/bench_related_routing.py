@@ -35,10 +35,14 @@ BASE = SyntheticConfig(
 )
 
 
-def run_routing_comparison(seed=7):
+def run_routing_comparison(seed=7, metric_factory=None):
     rows = []
     for dep_range in DEP_RANGES:
         instance = generate_synthetic(replace(BASE, dependency_size=dep_range, seed=seed))
+        if metric_factory is not None:
+            # Substrate swap: route scheduling and DA-SC matching both pay
+            # the same (road) distances, keeping the comparison fair.
+            instance.metric = metric_factory(instance)
         routing = RouteScheduler(instance).schedule(
             instance.workers, instance.tasks, now=0.0
         )
@@ -74,3 +78,40 @@ def test_related_routing(benchmark, record_result):
     # asserted throughout the test suite; here we check it stays competitive
     # on what actually counts)
     assert rows[-1]["dasc_valid"] > 0
+
+
+def test_related_routing_roadnet_variant(record_result, record_bench_json):
+    """The routing comparison with both sides paying street distances."""
+    import time
+
+    from conftest import roadnet_counter_totals, roadnet_metric_factory
+
+    networks = []
+    started = time.perf_counter()
+    rows = run_routing_comparison(metric_factory=roadnet_metric_factory(networks=networks))
+    wall_ms = (time.perf_counter() - started) * 1000.0
+
+    lines = [f"{'deps':8s} {'routed':>7s} {'routed-valid':>13s} {'dasc-valid':>11s}"]
+    for row in rows:
+        lines.append(
+            f"{row['deps']:8s} {row['routing_served']:7d} "
+            f"{row['routing_valid']:13d} {row['dasc_valid']:11d}"
+        )
+    record_result("related_routing_roadnet", "\n".join(lines) + "\n")
+
+    # The structural invariants survive the substrate swap.
+    for row in rows:
+        assert 0 <= row["routing_valid"] <= row["routing_served"]
+    assert rows[0]["routing_valid"] == rows[0]["routing_served"]
+    assert any(row["dasc_valid"] > 0 for row in rows)
+
+    record_bench_json(
+        "related_routing_roadnet",
+        {
+            "instance": "synthetic 20x80, dep sweep",
+            "grid": "12x12 per dep range",
+            "family": "repro.bench/roadnet/v1",
+        },
+        wall_ms,
+        roadnet_counter_totals(networks),
+    )

@@ -10,7 +10,14 @@ Two checks, one exit code:
    ``results/BENCH_engine.json``.  A run more than 25% slower than the
    committed baseline fails the gate; the fresh measurement is re-recorded
    either way so the trajectory file always carries the latest number.
-2. **Game evaluation-ratio gate** — runs the incremental best-response
+2. **Road-network settled-ratio gate** — answers the ``bench_roadnet``
+   64x64 batch workload through the contraction-hierarchy
+   ``distance_table`` kernel, asserts the floats are bit-identical to full
+   per-pair Dijkstra, and requires the table to settle at least 5x fewer
+   nodes than the derived per-pair baseline (``|pairs| x settled-per-full
+   run`` — exact, no need to run all 288 searches).  Counter arithmetic
+   only; wall-clock is recorded but never gated on.
+3. **Game evaluation-ratio gate** — runs the incremental best-response
    engine once on the 500x500 ``bench_game`` workload and derives the naive
    loop's cost exactly (``rounds x sum_w |S_w|`` — the identity
    ``bench_game`` pins) without running it.  The ratio of derived-naive
@@ -25,7 +32,7 @@ Exit codes: 0 all pass (or no baseline yet for the wall gate), 1 any fail.
 Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_gate.py [--threshold 1.25]
-        [--min-eval-ratio 5.0]
+        [--min-eval-ratio 5.0] [--min-settled-ratio 5.0]
 """
 
 from __future__ import annotations
@@ -50,8 +57,10 @@ from conftest import BENCH_JSON, BENCH_SCHEMA, record_bench_entry  # noqa: E402
 
 ENTRY = "micro_platform_engine"
 GAME_ENTRY = "game_eval_gate"
+ROADNET_ENTRY = "roadnet_settled_gate"
 ROUNDS = 3
 MIN_EVAL_RATIO = 5.0
+MIN_SETTLED_RATIO = 5.0
 
 
 def _committed_baseline() -> float | None:
@@ -64,6 +73,56 @@ def _committed_baseline() -> float | None:
         if entry["name"] == ENTRY:
             return float(entry["wall_ms"])
     return None
+
+
+def check_roadnet_settled_ratio(min_ratio: float) -> bool:
+    """Counter-only gate on the CH table kernel's settling savings."""
+    import math
+
+    from bench_roadnet import (
+        ROADNET_CONFIG,
+        make_network,
+        run_per_pair_baseline,
+        run_table,
+        workload,
+    )
+
+    plain = make_network(accelerate=False)
+    accel = make_network(accelerate=True)
+    sources, targets = workload(plain)
+    full, naive_settled, _ = run_per_pair_baseline(plain, sources, targets)
+    table, table_settled, wall_ms = run_table(accel, sources, targets)
+
+    truth = {
+        (s, t): (0.0 if s == t else full[s].get(t, math.inf))
+        for s in sources
+        for t in targets
+    }
+    if table != truth:  # exactness is a precondition of the perf claim
+        print("FAIL: roadnet table floats diverge from per-pair Dijkstra")
+        return False
+
+    ratio = naive_settled / max(table_settled, 1)
+    record_bench_entry(
+        ROADNET_ENTRY,
+        dict(ROADNET_CONFIG, min_settled_ratio=min_ratio),
+        wall_ms,
+        {
+            "pairs": len(truth),
+            "shortcuts": accel.shortcuts,
+            "table_settled": table_settled,
+            "derived_per_pair_settled": naive_settled,
+            "settled_ratio": round(ratio, 3),
+        },
+    )
+    ok = ratio >= min_ratio
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: roadnet settled ratio {ratio:.2f}x "
+        f"({naive_settled} derived per-pair settles vs {table_settled} "
+        f"table; floor x{min_ratio})"
+    )
+    return ok
 
 
 def check_game_eval_ratio(min_ratio: float) -> bool:
@@ -118,6 +177,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the game engine computes more than naive/THIS task "
         f"values (default {MIN_EVAL_RATIO}; deterministic, no wall-clock)",
     )
+    parser.add_argument(
+        "--min-settled-ratio",
+        type=float,
+        default=MIN_SETTLED_RATIO,
+        help="fail when the roadnet table settles more than per-pair/THIS "
+        f"nodes (default {MIN_SETTLED_RATIO}; deterministic, no wall-clock)",
+    )
     args = parser.parse_args(argv)
 
     baseline_ms = _committed_baseline()
@@ -137,10 +203,12 @@ def main(argv: list[str] | None = None) -> int:
     record_bench_entry(
         ENTRY, dict(_FEASIBILITY_CONFIG, use_engine=True), best_ms, counters
     )
+    roadnet_ok = check_roadnet_settled_ratio(args.min_settled_ratio)
     game_ok = check_game_eval_ratio(args.min_eval_ratio)
+    counters_ok = roadnet_ok and game_ok
     if baseline_ms is None:
         print(f"no committed baseline for {ENTRY!r}; recorded {best_ms:.1f} ms")
-        return 0 if game_ok else 1
+        return 0 if counters_ok else 1
 
     limit_ms = baseline_ms * args.threshold
     wall_ok = best_ms <= limit_ms
@@ -149,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{verdict}: {best_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
         f"(limit {limit_ms:.1f} ms = x{args.threshold})"
     )
-    return 0 if (wall_ok and game_ok) else 1
+    return 0 if (wall_ok and counters_ok) else 1
 
 
 if __name__ == "__main__":

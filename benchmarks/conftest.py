@@ -74,6 +74,50 @@ def record_bench_json():
     return record_bench_entry
 
 
+def roadnet_metric_factory(rows=12, cols=12, seed=3, networks=None, **grid_kw):
+    """A ``metric_factory`` building a street grid over an instance's extent.
+
+    Returns a callable suitable for the experiment runners'
+    ``metric_factory`` hooks: given an instance, it fits a bounding box
+    around every worker/task location, lays a jittered ``rows x cols`` grid
+    over it and wraps it in a :class:`RoadNetworkDistance`.  Pass a list as
+    ``networks`` to capture each built network (for counter totals).
+    """
+    import random as _random
+
+    from repro.spatial.region import BoundingBox
+    from repro.spatial.roadnet import RoadNetworkDistance, grid_road_network
+
+    grid_kw.setdefault("diagonal_prob", 0.2)
+    grid_kw.setdefault("jitter", 0.1)
+
+    def factory(instance):
+        points = [w.location for w in instance.workers]
+        points += [t.location for t in instance.tasks]
+        xs = [p[0] for p in points] or [0.0]
+        ys = [p[1] for p in points] or [0.0]
+        pad_x = max(max(xs) - min(xs), 1e-6) * 0.05
+        pad_y = max(max(ys) - min(ys), 1e-6) * 0.05
+        box = BoundingBox(
+            min(xs) - pad_x, min(ys) - pad_y, max(xs) + pad_x, max(ys) + pad_y
+        )
+        net = grid_road_network(box, rows, cols, rng=_random.Random(seed), **grid_kw)
+        if networks is not None:
+            networks.append(net)
+        return RoadNetworkDistance(net)
+
+    return factory
+
+
+def roadnet_counter_totals(networks) -> dict:
+    """Summed :meth:`RoadNetwork.stats` over every captured network."""
+    totals: dict = {}
+    for net in networks:
+        for key, value in net.stats().items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
 def total_score(result, approach: str) -> int:
     return sum(result.scores_of(approach))
 

@@ -13,7 +13,8 @@ Because ``Sum(M)`` is monotone and submodular over committed sets
 
 from __future__ import annotations
 
-from typing import Dict, Set
+import heapq
+from typing import Dict, List, Set, Tuple
 
 from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
@@ -64,20 +65,33 @@ class DASCGreedy(BatchAllocator):
         iterations = 0
         matchings_run = 0
 
+        # Size-ordered candidate structure: a heap of (-size, id) entries
+        # replaces the per-iteration full ``sorted(task_sets, ...)`` rescan.
+        # Membership only shrinks, so each shrink pushes one fresh entry and
+        # stale ones (wrong size, popped set) are discarded lazily on pop.
+        # Pops therefore visit live sets largest-first with id tie-breaks —
+        # the exact scan order of the rescan, hence identical greedy picks.
+        # A failed set's entry is consumed by the failing pop and only
+        # reappears (via a push) when the set shrinks, which is also the
+        # moment its failure memo is cleared — so no ``failed`` probe is
+        # needed on the pop path.
+        order_heap: List[Tuple[int, int]] = [
+            (-len(members), sid) for sid, members in task_sets.items()
+        ]
+        heapq.heapify(order_heap)
+
         while task_sets:
             iterations += 1
             best_id = None
             best_staffing: Dict[int, int] | None = None
-            # Scan candidates largest-first (ids break ties deterministically)
-            # so the first staffable set is the greedy pick.
-            for set_id in sorted(
-                task_sets, key=lambda sid: (-len(task_sets[sid]), sid)
-            ):
-                if set_id in failed:
-                    continue
+            while order_heap:
+                neg_size, set_id = heapq.heappop(order_heap)
+                members = task_sets.get(set_id)
+                if members is None or len(members) != -neg_size:
+                    continue  # stale entry: set was chosen, emptied or shrank
                 matchings_run += 1
                 staffing = match_task_set(
-                    sorted(task_sets[set_id]), free_workers, checker, instance, self.matching
+                    sorted(members), free_workers, checker, instance, self.matching
                 )
                 if staffing is None:
                     failed.add(set_id)
@@ -102,6 +116,8 @@ class DASCGreedy(BatchAllocator):
                     failed.discard(set_id)
                     if not members:
                         emptied.append(set_id)
+                    else:
+                        heapq.heappush(order_heap, (-len(members), set_id))
             for set_id in emptied:
                 del task_sets[set_id]
             if not free_workers:

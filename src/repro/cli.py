@@ -48,6 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep grid (1 = serial, -1 = all "
         "CPUs); results are bit-identical to serial",
     )
+    _add_roadnet_arguments(run)
     _add_obs_arguments(run)
 
     gen = sub.add_parser("generate", help="generate an instance JSON")
@@ -91,9 +92,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum uncached pair count before a full build fans out "
         "(default: engine heuristic; 0 forces the parallel kernel)",
     )
+    _add_roadnet_arguments(solve)
     _add_obs_arguments(solve)
 
     return parser
+
+
+def _add_roadnet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--roadnet-accel",
+        dest="roadnet_accel",
+        action="store_true",
+        default=None,
+        help="force contraction-hierarchy acceleration for road-network "
+        "metrics (bit-identical distances, fewer settled nodes)",
+    )
+    parser.add_argument(
+        "--no-roadnet-accel",
+        dest="roadnet_accel",
+        action="store_false",
+        help="force plain Dijkstra for road-network metrics (bit-identical "
+        "distances — for measuring the hierarchy's savings)",
+    )
+
+
+def _apply_roadnet_acceleration(args: argparse.Namespace) -> None:
+    if getattr(args, "roadnet_accel", None) is not None:
+        from repro.spatial.roadnet import set_default_acceleration
+
+        set_default_acceleration(args.roadnet_accel)
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -155,6 +182,7 @@ def _obs_report(args: argparse.Namespace, tracer, *registries) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_roadnet_acceleration(args)
     kwargs = {"seed": args.seed, "n_jobs": args.jobs}
     if args.scale is not None:
         kwargs["scale"] = args.scale
@@ -222,6 +250,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    _apply_roadnet_acceleration(args)
     instance = load_instance(args.instance)
     allocator = make_allocator(
         args.approach, seed=args.seed, game_incremental=not args.naive_game

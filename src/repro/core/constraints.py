@@ -89,10 +89,21 @@ def pair_feasible(
     The exclusivity and dependency constraints are properties of a whole
     assignment, not of a pair, and are checked by
     :class:`repro.core.assignment.Assignment`.
+
+    Metrics exposing ``bounded_distance`` (the road network) are queried
+    with the worker's reach bound ``d_w`` as the budget: the search stops
+    settling nodes once the budget is provably exceeded and returns ``inf``
+    then — and the exact distance otherwise — so every decision below is
+    identical to the unbounded evaluation.
     """
     if not skill_ok(worker, task):
         return False
-    dist = (metric or _EUCLIDEAN)(worker.location, task.location)
+    metric = metric or _EUCLIDEAN
+    bounded = getattr(metric, "bounded_distance", None)
+    if bounded is not None:
+        dist = bounded(worker.location, task.location, worker.max_distance)
+    else:
+        dist = metric(worker.location, task.location)
     return within_range(worker, task, dist=dist) and deadline_ok(
         worker, task, now=now, dist=dist
     )

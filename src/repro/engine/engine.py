@@ -195,15 +195,17 @@ class AllocationEngine:
             self._workers_of[task.id] = set()
         self._index = self._make_index(workers, tasks, now)
         latest = self._latest_deadline()
-        if self.n_jobs <= 1:
+        table_capable = getattr(self.metric.base, "supports_distance_table", False)
+        if self.n_jobs <= 1 and not table_capable:
             for worker in workers:
                 self._recompute_row(worker, latest, now)
             return
         # Chunked kernel: gather every candidate row first (index probes and
         # pruning counters run exactly as in the serial path), fan the
-        # uncached pair distances across the pool, then replay the serial
-        # link sequence against the prefetched values — same graph, same
-        # edge order, same cache trajectory.
+        # uncached pair distances across the pool — or hand them to the
+        # metric's many-to-many table kernel in one call — then replay the
+        # serial link sequence against the prefetched values — same graph,
+        # same edge order, same cache trajectory.
         rows: List[Tuple[Worker, List[int]]] = []
         for worker in workers:
             self._install_row(worker)
@@ -217,11 +219,14 @@ class AllocationEngine:
             self.metric.clear_preload()
 
     def _prefetch_distances(self, rows: Sequence[Tuple[Worker, List[int]]]) -> None:
-        """Evaluate the build's unique uncached pair distances in parallel.
+        """Evaluate the build's unique uncached pair distances in bulk.
 
         Only pairs the serial link loop would actually hand to the metric
-        (skill filter applied, cache probed) are shipped; below the
-        threshold the serial path wins and nothing is prefetched.
+        (skill filter applied, cache probed) are shipped.  Table-capable
+        metrics get every batch (the table kernel amortises per-endpoint
+        work, so there is no fork/pickle cost to threshold against); others
+        fan out across the process pool, and below the threshold the serial
+        path wins and nothing is prefetched.
         """
         pairs: List[Tuple[Tuple[float, float], Tuple[float, float]]] = []
         seen: Set[Tuple[Tuple[float, float], Tuple[float, float]]] = set()
@@ -237,7 +242,10 @@ class AllocationEngine:
                     continue
                 seen.add(key)
                 pairs.append(key)
-        if len(pairs) < self.parallel_threshold:
+        if not pairs:
+            return
+        table_capable = getattr(self.metric.base, "supports_distance_table", False)
+        if not table_capable and len(pairs) < self.parallel_threshold:
             return
         self.metric.preload(
             evaluate_pairs(self.metric.base, pairs, self.n_jobs, self.tracer)

@@ -63,13 +63,23 @@ def _real_sweep(
     approaches: Sequence[str],
     batch_interval: float,
     n_jobs: int = 1,
+    metric_factory: Optional[Callable[[ProblemInstance], "object"]] = None,
 ) -> SweepResult:
     values = REAL_SWEEPS[parameter]
+
+    def build(value) -> ProblemInstance:
+        instance = _real_instance(scale, seed, **{parameter: value})
+        if metric_factory is not None:
+            # Substrate swap (e.g. the road-network metric): same
+            # populations, alternative distance function.
+            instance = replace(instance, metric=metric_factory(instance))
+        return instance
+
     return run_sweep(
         name,
         parameter,
         values,
-        lambda value: _real_instance(scale, seed, **{parameter: value}),
+        build,
         approaches,
         batch_interval=batch_interval,
         seed=seed,
@@ -162,8 +172,21 @@ def run_fig2(
     return result
 
 
-def run_fig3(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1, **_) -> SweepResult:
-    """Figure 3: max moving distance range, real data."""
+def run_fig3(
+    seed: int = 7,
+    scale: float = 1.0,
+    approaches=None,
+    n_jobs: int = 1,
+    metric_factory=None,
+    **_,
+) -> SweepResult:
+    """Figure 3: max moving distance range, real data.
+
+    ``metric_factory`` swaps the distance substrate per instance (the
+    road-network benchmark passes a factory building a
+    :class:`~repro.spatial.roadnet.RoadNetworkDistance` over the instance's
+    region).
+    """
     return _real_sweep(
         "Figure 3 (real: max distance)",
         "max_distance",
@@ -172,6 +195,7 @@ def run_fig3(seed: int = 7, scale: float = 1.0, approaches=None, n_jobs: int = 1
         approaches or APPROACH_NAMES,
         REAL_BATCH_INTERVAL,
         n_jobs=n_jobs,
+        metric_factory=metric_factory,
     )
 
 

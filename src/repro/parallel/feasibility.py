@@ -62,10 +62,24 @@ def evaluate_pairs(
     Results are merged chunk-by-chunk in input order; since the metric is a
     pure function the resulting map is identical to a serial loop's, only
     computed on several cores.
+
+    Metrics declaring ``supports_distance_table`` (the road network) are
+    answered by **one in-process** ``distance_table`` call instead of the
+    fan-out: the table kernel shares one search cone per distinct endpoint
+    across the whole batch — strictly less work than per-pair evaluation —
+    and staying in-process avoids pickling the network (and its contraction
+    hierarchy) into every worker.  The returned map is value-identical
+    either way.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     workers = resolve_jobs(n_jobs)
     pairs = list(pairs)
+    if getattr(metric, "supports_distance_table", False):
+        with tracer.span("parallel.table") as span:
+            out = metric.distance_table(pairs=pairs)
+            if tracer.enabled:
+                span.set("pairs", len(pairs))
+        return out
     with tracer.span("parallel.fanout") as span:
         chunks = chunk_pairs(pairs, max(workers, 1))
         results = ordered_map(_eval_chunk, [(metric, chunk) for chunk in chunks], workers)

@@ -8,6 +8,7 @@ uniform-grid spatial index used to prune feasible worker/task pairs.
 """
 
 from repro.spatial.cache import CachedMetric
+from repro.spatial.ch import ContractionHierarchy
 from repro.spatial.distance import (
     DistanceMetric,
     EuclideanDistance,
@@ -21,11 +22,18 @@ from repro.spatial.distance import (
 from repro.spatial.index import GridIndex
 from repro.spatial.mobility import travel_time
 from repro.spatial.region import BoundingBox
-from repro.spatial.roadnet import RoadNetwork, RoadNetworkDistance, grid_road_network
+from repro.spatial.roadnet import (
+    RoadNetwork,
+    RoadNetworkDistance,
+    default_acceleration,
+    grid_road_network,
+    set_default_acceleration,
+)
 
 __all__ = [
     "BoundingBox",
     "CachedMetric",
+    "ContractionHierarchy",
     "DistanceMetric",
     "EuclideanDistance",
     "GridIndex",
@@ -33,10 +41,12 @@ __all__ = [
     "ManhattanDistance",
     "RoadNetwork",
     "RoadNetworkDistance",
+    "default_acceleration",
     "euclidean",
     "get_metric",
     "grid_road_network",
     "haversine_km",
     "manhattan",
+    "set_default_acceleration",
     "travel_time",
 ]

@@ -76,3 +76,129 @@ class TestValidityOnRandomInstances:
         # greedy could strand psi-2 coverage.  Verify both chain tasks land.
         outcome = run_single_batch(example1, DASCGreedy())
         assert {1, 2} <= outcome.assignment.assigned_tasks()
+
+
+class _RescanGreedy(DASCGreedy):
+    """The pre-heap implementation, kept verbatim as a pinning oracle.
+
+    Re-sorts every remaining set each iteration and scans largest-first with
+    id tie-breaks, skipping the failure memo.  The production allocator
+    replaced this scan with a lazy size-ordered heap; the test below pins
+    that both enumerate candidates in the same order and therefore produce
+    identical assignments *and* identical ``matchings`` counters.
+    """
+
+    name = "Greedy(rescan)"
+
+    def _allocate(self, context):
+        from typing import Dict, Set
+
+        from repro.algorithms.base import AllocationOutcome
+        from repro.core.assignment import Assignment
+        from repro.matching.bipartite import match_task_set
+
+        workers, tasks, instance = context.workers, context.tasks, context.instance
+        assignment = Assignment()
+        if not workers or not tasks:
+            return AllocationOutcome(assignment)
+        checker = context.checker
+        graph = instance.dependency_graph
+        batch_task_ids = {t.id for t in tasks}
+        assigned: Set[int] = set(context.previously_assigned)
+
+        task_sets: Dict[int, Set[int]] = {}
+        for task in tasks:
+            members = (graph.associative_set(task.id) - assigned) if task.id in graph else {task.id}
+            if members <= batch_task_ids:
+                task_sets[task.id] = set(members)
+
+        free_workers: Set[int] = {w.id for w in workers}
+        failed: Set[int] = set()
+        iterations = 0
+        matchings_run = 0
+
+        while task_sets:
+            iterations += 1
+            best_id = None
+            best_staffing = None
+            for set_id in sorted(task_sets, key=lambda s: (-len(task_sets[s]), s)):
+                if set_id in failed:
+                    continue
+                matchings_run += 1
+                staffing = match_task_set(
+                    sorted(task_sets[set_id]), free_workers, checker, instance,
+                    self.matching,
+                )
+                if staffing is None:
+                    failed.add(set_id)
+                    continue
+                best_id = set_id
+                best_staffing = staffing
+                break
+            if best_staffing is None:
+                break
+
+            chosen = set(task_sets.pop(best_id))
+            for task_id, worker_id in best_staffing.items():
+                assignment.add(worker_id, task_id)
+                free_workers.discard(worker_id)
+                assigned.add(task_id)
+            emptied = []
+            for set_id, members in task_sets.items():
+                if members & chosen:
+                    members -= chosen
+                    failed.discard(set_id)
+                    if not members:
+                        emptied.append(set_id)
+            for set_id in emptied:
+                del task_sets[set_id]
+            if not free_workers:
+                break
+
+        return AllocationOutcome(
+            assignment,
+            stats={"iterations": float(iterations), "matchings": float(matchings_run)},
+        )
+
+
+class TestHeapMatchesRescanOracle:
+    """The maintained size-ordered heap is bit-identical to the full rescan."""
+
+    def _compare(self, instance):
+        fast = run_single_batch(instance, DASCGreedy())
+        slow = run_single_batch(instance, _RescanGreedy())
+        assert sorted(fast.assignment.pairs()) == sorted(slow.assignment.pairs())
+        assert fast.stats == slow.stats
+
+    def test_example1(self, example1):
+        self._compare(example1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_synthetic(self, seed):
+        from repro.datagen.distributions import IntRange
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=30, num_tasks=45, skill_universe=8,
+                worker_skills=IntRange(1, 3), dependency_size=IntRange(0, 7),
+                seed=seed,
+            )
+        )
+        self._compare(instance)
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_scarce_workers_exercise_failures(self, seed):
+        # Few workers force many failed staffings, exercising the memo and
+        # the stale-entry discard paths.
+        from repro.datagen.distributions import IntRange
+        from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=6, num_tasks=50, skill_universe=10,
+                worker_skills=IntRange(1, 2), dependency_size=IntRange(0, 8),
+                seed=seed,
+            )
+        )
+        self._compare(instance)

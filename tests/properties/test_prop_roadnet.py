@@ -1,0 +1,141 @@
+"""Property tests pinning the road-network acceleration to plain Dijkstra.
+
+The accelerated kernels (contraction-hierarchy point queries, the
+many-to-many ``distance_table`` and goal-bounded searches) promise
+**bit-identical** results — exact float equality, not approximate — on every
+graph the grid generator can produce: closures, diagonals, jittered weights,
+disconnected components.  ``_dijkstra`` (the untouched reference
+implementation) is the oracle throughout.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.ch import ContractionHierarchy
+from repro.spatial.region import BoundingBox
+from repro.spatial.roadnet import RoadNetwork, RoadNetworkDistance, grid_road_network
+
+UNIT = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+grids = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "rows": st.integers(3, 7),
+        "cols": st.integers(3, 7),
+        "closure_prob": st.sampled_from([0.0, 0.15, 0.35]),
+        "diagonal_prob": st.sampled_from([0.0, 0.25]),
+        "jitter": st.sampled_from([0.0, 0.05, 0.3]),
+        "detour_factor": st.sampled_from([1.0, 1.4]),
+    }
+)
+
+
+def _build(params, accelerate):
+    return grid_road_network(
+        UNIT,
+        params["rows"],
+        params["cols"],
+        rng=random.Random(params["seed"]),
+        closure_prob=params["closure_prob"],
+        diagonal_prob=params["diagonal_prob"],
+        jitter=params["jitter"],
+        detour_factor=params["detour_factor"],
+        accelerate=accelerate,
+    )
+
+
+def _oracle(net):
+    """{source: full Dijkstra labels} over every node, via the reference."""
+    return {s: net._dijkstra(s) for s in range(net.num_nodes)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(grids)
+def test_ch_query_matches_dijkstra(params):
+    net = _build(params, accelerate=False)
+    ch = ContractionHierarchy(net._adjacency)
+    oracle = _oracle(net)
+    for s in range(net.num_nodes):
+        for t in range(net.num_nodes):
+            expected = 0.0 if s == t else oracle[s].get(t, math.inf)
+            assert ch.query(s, t) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(grids, st.integers(0, 1_000_000))
+def test_distance_table_matches_dijkstra(params, pick_seed):
+    accel = _build(params, accelerate=True)
+    oracle = _oracle(accel)
+    rng = random.Random(pick_seed)
+    n = accel.num_nodes
+    sources = sorted({rng.randrange(n) for _ in range(4)})
+    targets = sorted({rng.randrange(n) for _ in range(5)})
+    table = accel.distance_table(sources, targets)
+    for s in sources:
+        for t in targets:
+            expected = 0.0 if s == t else oracle[s].get(t, math.inf)
+            assert table[(s, t)] == expected
+    # The plain fallback path agrees float-for-float.
+    plain = _build(params, accelerate=False)
+    assert plain.distance_table(sources, targets) == table
+
+
+@settings(max_examples=60, deadline=None)
+@given(grids, st.integers(0, 1_000_000))
+def test_bounded_distance_matches_dijkstra(params, pick_seed):
+    for accelerate in (False, True):
+        net = _build(params, accelerate=accelerate)
+        rng = random.Random(pick_seed)
+        for _ in range(12):
+            a = (rng.random(), rng.random())
+            b = (rng.random(), rng.random())
+            budget = rng.random() * 3.0
+            plain = net.distance(a, b)
+            bounded = net.bounded_distance(a, b, budget)
+            if plain <= budget:
+                assert bounded == plain
+            else:
+                assert bounded == math.inf
+
+
+@settings(max_examples=40, deadline=None)
+@given(grids, st.integers(0, 1_000_000))
+def test_metric_table_matches_point_calls(params, pick_seed):
+    net = _build(params, accelerate=True)
+    metric = RoadNetworkDistance(net)
+    reference = RoadNetworkDistance(_build(params, accelerate=False))
+    rng = random.Random(pick_seed)
+    points = [(rng.random(), rng.random()) for _ in range(6)]
+    pairs = [(a, b) for a in points[:3] for b in points]
+    table = metric.distance_table(pairs=pairs)
+    for pair, value in table.items():
+        assert value == reference(*pair)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 4))
+def test_disconnected_components_are_infinite(seed, islands):
+    # Several disjoint 2-node islands: every cross-island query is inf on
+    # both paths, every intra-island query is the edge weight.
+    rng = random.Random(seed)
+    nodes, edges = {}, []
+    for i in range(islands):
+        a, b = 2 * i, 2 * i + 1
+        nodes[a] = (float(i), 0.0)
+        nodes[b] = (float(i), 0.5 + rng.random())
+        edges.append((a, b))
+    for accelerate in (False, True):
+        net = RoadNetwork(nodes, edges, accelerate=accelerate)
+        for s in nodes:
+            for t in nodes:
+                d = net.node_distance(s, t)
+                if s == t:
+                    assert d == 0.0
+                elif s // 2 == t // 2:
+                    assert d == net._adjacency[s][0][1]
+                else:
+                    assert d == math.inf
+                assert net.bounded_node_distance(s, t, 10.0) == d

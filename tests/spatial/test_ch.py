@@ -1,0 +1,121 @@
+"""Contraction-hierarchy unit tests.
+
+The heavy-duty bit-identity coverage lives in the hypothesis suite
+(``tests/properties/test_prop_roadnet.py``); these pin the structural
+invariants and the small hand-checkable cases.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.spatial.ch import ContractionHierarchy
+from repro.spatial.region import BoundingBox
+from repro.spatial.roadnet import grid_road_network
+
+UNIT = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+def _adjacency_of(net):
+    return net._adjacency
+
+
+def _grid(seed, rows=6, cols=6, **kw):
+    return grid_road_network(UNIT, rows, cols, rng=random.Random(seed),
+                             accelerate=False, **kw)
+
+
+class TestBuild:
+    def test_rank_is_a_total_order(self):
+        net = _grid(1, closure_prob=0.2)
+        ch = ContractionHierarchy(_adjacency_of(net))
+        assert sorted(ch.rank.values()) == list(range(net.num_nodes))
+        assert ch.num_nodes == net.num_nodes
+
+    def test_upward_edges_cover_originals(self):
+        # Every original edge survives as an upward edge from its
+        # lower-ranked endpoint (possibly alongside shortcuts).
+        net = _grid(2)
+        ch = ContractionHierarchy(_adjacency_of(net))
+        assert ch.upward_edges >= net.num_edges
+
+    def test_line_graph_needs_shortcuts(self):
+        # Contracting the middle of a path must bridge its neighbours.
+        adjacency = {
+            0: [(1, 1.0)],
+            1: [(0, 1.0), (2, 2.0)],
+            2: [(1, 2.0), (3, 4.0)],
+            3: [(2, 4.0)],
+        }
+        ch = ContractionHierarchy(adjacency)
+        assert ch.query(0, 3) == (1.0 + 2.0) + 4.0
+        assert ch.query(3, 0) == ch.query(0, 3)
+
+    def test_triangle_no_shortcut_needed(self):
+        # A triangle with a strictly shorter detour never needs a shortcut.
+        adjacency = {
+            0: [(1, 1.0), (2, 1.0)],
+            1: [(0, 1.0), (2, 0.5)],
+            2: [(0, 1.0), (1, 0.5)],
+        }
+        ch = ContractionHierarchy(adjacency)
+        assert ch.shortcuts == 0
+        assert ch.query(1, 2) == 0.5
+        assert ch.query(0, 2) == 1.0
+
+    def test_self_loops_ignored(self):
+        adjacency = {0: [(0, 5.0), (1, 1.0)], 1: [(1, 2.0), (0, 1.0)]}
+        ch = ContractionHierarchy(adjacency)
+        assert ch.query(0, 1) == 1.0
+
+
+class TestQuery:
+    def test_same_node_zero(self):
+        ch = ContractionHierarchy(_adjacency_of(_grid(3)))
+        assert ch.query(5, 5) == 0.0
+
+    def test_disconnected_is_infinite(self):
+        adjacency = {0: [(1, 1.0)], 1: [(0, 1.0)], 2: []}
+        ch = ContractionHierarchy(adjacency)
+        assert ch.query(0, 2) == math.inf
+        assert ch.query(2, 1) == math.inf
+
+    @pytest.mark.parametrize("kw", [
+        {},
+        {"closure_prob": 0.25},
+        {"diagonal_prob": 0.3},
+        {"jitter": 0.15},
+        {"closure_prob": 0.2, "diagonal_prob": 0.2, "jitter": 0.1},
+    ])
+    def test_matches_plain_dijkstra(self, kw):
+        net = _grid(7, **kw)
+        ch = ContractionHierarchy(_adjacency_of(net))
+        for source in range(0, net.num_nodes, 7):
+            reference = net._dijkstra(source)
+            for target in range(net.num_nodes):
+                assert ch.query(source, target) == reference.get(target, math.inf)
+
+    def test_cone_reuse_matches_fresh_queries(self):
+        net = _grid(9, jitter=0.2)
+        ch = ContractionHierarchy(_adjacency_of(net))
+        cone = ch.backward_cone(net.num_nodes - 1)
+        for source in range(0, net.num_nodes, 5):
+            forward = ch.forward_labels(source)
+            assert ch.combine(forward, cone) == ch.query(source, net.num_nodes - 1)
+
+    def test_settled_counter_moves(self):
+        net = _grid(4)
+        ch = ContractionHierarchy(_adjacency_of(net))
+        assert ch.settled_nodes == 0
+        ch.query(0, net.num_nodes - 1)
+        assert 0 < ch.settled_nodes <= 2 * net.num_nodes
+
+    def test_small_witness_limit_still_exact(self):
+        # A tiny witness budget keeps redundant shortcuts but never wrong ones.
+        net = _grid(11, closure_prob=0.2, jitter=0.1)
+        loose = ContractionHierarchy(_adjacency_of(net), witness_limit=2)
+        tight = ContractionHierarchy(_adjacency_of(net))
+        assert loose.shortcuts >= tight.shortcuts
+        for s, t in [(0, 35), (3, 20), (17, 2), (35, 0)]:
+            assert loose.query(s, t) == tight.query(s, t)

@@ -79,3 +79,35 @@ class TestRun:
         text = csv_file.read_text()
         assert text.startswith("experiment,parameter,label,approach")
         assert "DFS" in text
+
+
+class TestRoadnetFlags:
+    def _solve(self, tmp_path, *flags):
+        path = tmp_path / "inst.json"
+        main(["generate", "synthetic", "--out", str(path),
+              "--workers", "10", "--tasks", "12", "--seed", "3"])
+        return main(["solve", str(path), "--approach", "Greedy", *flags])
+
+    def test_flags_toggle_the_process_default(self, tmp_path):
+        from repro.spatial.roadnet import default_acceleration, set_default_acceleration
+
+        initial = default_acceleration()
+        try:
+            assert self._solve(tmp_path, "--no-roadnet-accel") == 0
+            assert default_acceleration() is False
+            assert self._solve(tmp_path, "--roadnet-accel") == 0
+            assert default_acceleration() is True
+        finally:
+            set_default_acceleration(initial)
+
+    def test_no_flag_leaves_default_alone(self, tmp_path):
+        from repro.spatial.roadnet import default_acceleration, set_default_acceleration
+
+        initial = default_acceleration()
+        previous = set_default_acceleration(False)
+        try:
+            assert self._solve(tmp_path) == 0
+            assert default_acceleration() is False
+        finally:
+            set_default_acceleration(previous)
+        assert default_acceleration() == initial
