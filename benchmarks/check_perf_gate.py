@@ -26,6 +26,12 @@ Two checks, one exit code:
    arithmetic, this check is deterministic on 1-CPU hosts: a regression in
    the dirty-set scheduler or the value cache fails CI regardless of
    machine speed or load.
+4. **Columnar pair-ratio gate** — runs the ``bench_columnar`` platform
+   workload with the columnar kernels on and off, asserts the two reports
+   are bit-identical (exactness precondition) and requires the scalar path
+   to perform at least 5x more interpreter-level per-pair feasibility
+   evaluations (``scalar_pair_evals`` counter) than the columnar path.
+   Counter arithmetic only — deterministic on 1-CPU hosts.
 
 Exit codes: 0 all pass (or no baseline yet for the wall gate), 1 any fail.
 
@@ -33,6 +39,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_gate.py [--threshold 1.25]
         [--min-eval-ratio 5.0] [--min-settled-ratio 5.0]
+        [--min-columnar-ratio 5.0]
 """
 
 from __future__ import annotations
@@ -58,9 +65,11 @@ from conftest import BENCH_JSON, BENCH_SCHEMA, record_bench_entry  # noqa: E402
 ENTRY = "micro_platform_engine"
 GAME_ENTRY = "game_eval_gate"
 ROADNET_ENTRY = "roadnet_settled_gate"
+COLUMNAR_ENTRY = "columnar_pair_gate"
 ROUNDS = 3
 MIN_EVAL_RATIO = 5.0
 MIN_SETTLED_RATIO = 5.0
+MIN_COLUMNAR_RATIO = 5.0
 
 
 def _committed_baseline() -> float | None:
@@ -159,6 +168,47 @@ def check_game_eval_ratio(min_ratio: float) -> bool:
     return ok
 
 
+def check_columnar_pair_ratio(min_ratio: float) -> bool:
+    """Counter-only gate on the columnar kernels' per-pair-eval savings."""
+    from bench_columnar import (
+        COLUMNAR_CONFIG,
+        _assert_reports_identical,
+        run_columnar_workload,
+    )
+
+    instance = make_feasibility_instance()
+    on_report, on_aux, wall_ms = run_columnar_workload(instance, True)
+    off_report, off_aux, _ = run_columnar_workload(instance, False)
+
+    try:  # exactness is a precondition of the perf claim
+        _assert_reports_identical(on_report, off_report)
+    except AssertionError:
+        print("FAIL: columnar on/off reports diverge")
+        return False
+
+    ratio = off_aux["scalar_pair_evals"] / max(on_aux["scalar_pair_evals"], 1)
+    record_bench_entry(
+        COLUMNAR_ENTRY,
+        dict(COLUMNAR_CONFIG, min_pair_ratio=min_ratio),
+        wall_ms,
+        {
+            "columnar_full_builds": on_aux["columnar_full_builds"],
+            "columnar_pairs": on_aux["columnar_pairs"],
+            "columnar_path_pair_evals": on_aux["scalar_pair_evals"],
+            "scalar_path_pair_evals": off_aux["scalar_pair_evals"],
+            "pair_eval_ratio": round(ratio, 3),
+        },
+    )
+    ok = ratio >= min_ratio and on_aux["columnar_pairs"] > 0
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: columnar pair-eval ratio {ratio:.2f}x "
+        f"({off_aux['scalar_pair_evals']:.0f} scalar-path evals vs "
+        f"{on_aux['scalar_pair_evals']:.0f} columnar-path; floor x{min_ratio})"
+    )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,6 +234,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the roadnet table settles more than per-pair/THIS "
         f"nodes (default {MIN_SETTLED_RATIO}; deterministic, no wall-clock)",
     )
+    parser.add_argument(
+        "--min-columnar-ratio",
+        type=float,
+        default=MIN_COLUMNAR_RATIO,
+        help="fail when the columnar path saves fewer than THIS x "
+        "interpreter-level per-pair feasibility evaluations "
+        f"(default {MIN_COLUMNAR_RATIO}; deterministic, no wall-clock)",
+    )
     args = parser.parse_args(argv)
 
     baseline_ms = _committed_baseline()
@@ -205,7 +263,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     roadnet_ok = check_roadnet_settled_ratio(args.min_settled_ratio)
     game_ok = check_game_eval_ratio(args.min_eval_ratio)
-    counters_ok = roadnet_ok and game_ok
+    columnar_ok = check_columnar_pair_ratio(args.min_columnar_ratio)
+    counters_ok = roadnet_ok and game_ok and columnar_ok
     if baseline_ms is None:
         print(f"no committed baseline for {ENTRY!r}; recorded {best_ms:.1f} ms")
         return 0 if counters_ok else 1

@@ -49,6 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "CPUs); results are bit-identical to serial",
     )
     _add_roadnet_arguments(run)
+    _add_columnar_arguments(run)
     _add_obs_arguments(run)
 
     gen = sub.add_parser("generate", help="generate an instance JSON")
@@ -93,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: engine heuristic; 0 forces the parallel kernel)",
     )
     _add_roadnet_arguments(solve)
+    _add_columnar_arguments(solve)
     _add_obs_arguments(solve)
 
     return parser
@@ -121,6 +123,32 @@ def _apply_roadnet_acceleration(args: argparse.Namespace) -> None:
         from repro.spatial.roadnet import set_default_acceleration
 
         set_default_acceleration(args.roadnet_accel)
+
+
+def _add_columnar_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--columnar",
+        dest="columnar",
+        action="store_true",
+        default=None,
+        help="force the vectorised columnar feasibility kernels for planar "
+        "metrics (bit-identical reports and engine stats; uses the "
+        "pure-python backend when numpy is absent)",
+    )
+    parser.add_argument(
+        "--no-columnar",
+        dest="columnar",
+        action="store_false",
+        help="force the scalar per-pair feasibility path (bit-identical — "
+        "for measuring the columnar kernels' savings)",
+    )
+
+
+def _apply_columnar(args: argparse.Namespace) -> None:
+    if getattr(args, "columnar", None) is not None:
+        from repro.columnar import set_default_columnar
+
+        set_default_columnar(args.columnar)
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +211,7 @@ def _obs_report(args: argparse.Namespace, tracer, *registries) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     _apply_roadnet_acceleration(args)
+    _apply_columnar(args)
     kwargs = {"seed": args.seed, "n_jobs": args.jobs}
     if args.scale is not None:
         kwargs["scale"] = args.scale
@@ -251,6 +280,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     _apply_roadnet_acceleration(args)
+    _apply_columnar(args)
     instance = load_instance(args.instance)
     allocator = make_allocator(
         args.approach, seed=args.seed, game_incremental=not args.naive_game

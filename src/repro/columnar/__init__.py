@@ -1,0 +1,53 @@
+"""Columnar feasibility core: struct-of-arrays snapshots + vectorised kernels.
+
+``repro.columnar`` turns a batch's worker/task populations into contiguous
+columns (:class:`ColumnarBatch`) and evaluates the pair-feasibility
+predicate over whole tiles at once (:func:`feasible_pairs` /
+:func:`feasible_dense`) — numpy-backed when available, with a pure-python
+``array``-module fallback that keeps the core dependency-free.  Decisions
+and distances are bit-identical to the scalar
+:func:`repro.core.constraints.pair_feasible` oracle on both backends; see
+:mod:`repro.columnar.kernels` for the exactness contract.
+
+The process-wide toggle (:func:`set_default_columnar`, surfaced as the CLI
+``--columnar/--no-columnar`` flags) defaults to *auto*: on exactly when
+numpy is importable.
+"""
+
+from repro.columnar.batch import (
+    ColumnarBatch,
+    flatten_rows,
+    intern_skills,
+    pack_pair_columns,
+)
+from repro.columnar.kernels import (
+    CODES,
+    available_backends,
+    default_columnar,
+    feasible_dense,
+    feasible_pairs,
+    numpy_available,
+    pair_distances,
+    resolve_backend,
+    set_default_columnar,
+    skill_candidates_dense,
+    true_positions,
+)
+
+__all__ = [
+    "CODES",
+    "ColumnarBatch",
+    "available_backends",
+    "default_columnar",
+    "feasible_dense",
+    "feasible_pairs",
+    "flatten_rows",
+    "intern_skills",
+    "numpy_available",
+    "pack_pair_columns",
+    "pair_distances",
+    "resolve_backend",
+    "set_default_columnar",
+    "skill_candidates_dense",
+    "true_positions",
+]

@@ -18,6 +18,20 @@ from repro.spatial.index import GridIndex
 
 _EUCLIDEAN = EuclideanDistance()
 
+#: Sentinel distinguishing "caller did not resolve ``bounded_distance``"
+#: from "caller resolved it to None" in :func:`pair_feasible`.
+_UNRESOLVED = object()
+
+
+def resolve_bounded(metric: Optional[DistanceMetric]):
+    """The metric's goal-bounded query, resolved once per batch.
+
+    ``pair_feasible`` historically probed ``getattr(metric,
+    "bounded_distance", None)`` on *every* call; batch loops hoist the
+    lookup here and pass the result back via the ``bounded`` keyword.
+    """
+    return getattr(metric or _EUCLIDEAN, "bounded_distance", None)
+
 
 def skill_ok(worker: Worker, task: Task) -> bool:
     """Skill constraint: ``rs_t in WS_w``."""
@@ -83,6 +97,8 @@ def pair_feasible(
     task: Task,
     metric: Optional[DistanceMetric] = None,
     now: float = -math.inf,
+    *,
+    bounded=_UNRESOLVED,
 ) -> bool:
     """Whether ``(w, t)`` satisfies skill, deadline and distance constraints.
 
@@ -94,12 +110,15 @@ def pair_feasible(
     with the worker's reach bound ``d_w`` as the budget: the search stops
     settling nodes once the budget is provably exceeded and returns ``inf``
     then — and the exact distance otherwise — so every decision below is
-    identical to the unbounded evaluation.
+    identical to the unbounded evaluation.  Batch loops pass the
+    once-per-batch :func:`resolve_bounded` result as ``bounded`` to skip
+    the per-call attribute probe.
     """
     if not skill_ok(worker, task):
         return False
     metric = metric or _EUCLIDEAN
-    bounded = getattr(metric, "bounded_distance", None)
+    if bounded is _UNRESOLVED:
+        bounded = getattr(metric, "bounded_distance", None)
     if bounded is not None:
         dist = bounded(worker.location, task.location, worker.max_distance)
     else:
@@ -134,6 +153,14 @@ class FeasibilityChecker:
             ``euclidean_lower_bound`` (Euclidean, Manhattan, road-network).
             Other metrics fall back to exhaustive checking, which is always
             correct.
+        use_columnar: evaluate candidate tiles through the vectorised
+            :mod:`repro.columnar` kernels instead of per-pair
+            ``pair_feasible`` calls.  None follows the process default
+            (:func:`repro.columnar.default_columnar`).  Only metrics
+            declaring a ``columnar_code`` are eligible — a
+            :class:`~repro.spatial.cache.CachedMetric` never is, because
+            its hit/miss trajectory is observable state the scalar path
+            must keep populating.  Pair sets are bit-identical either way.
 
     The per-worker pruning radius is ``min(d_w, v_w * (latest task deadline -
     earliest departure))`` — no feasible task can lie outside it (for
@@ -148,11 +175,19 @@ class FeasibilityChecker:
         metric: Optional[DistanceMetric] = None,
         now: float = -math.inf,
         use_index: bool = True,
+        use_columnar: Optional[bool] = None,
     ) -> None:
+        from repro.columnar import CODES, default_columnar
+
         self.workers = list(workers)
         self.tasks = list(tasks)
         self.metric = metric or _EUCLIDEAN
         self.now = now
+        self._bounded = resolve_bounded(self.metric)
+        if use_columnar is None:
+            use_columnar = default_columnar()
+        code = getattr(self.metric, "columnar_code", None)
+        self._columnar_code = code if (use_columnar and code in CODES) else None
         self._worker_by_id = {w.id: w for w in self.workers}
         self._task_by_id = {t.id: t for t in self.tasks}
         use_grid = use_index and self.metric.euclidean_lower_bound and self.tasks
@@ -193,11 +228,23 @@ class FeasibilityChecker:
     ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
         tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
         workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
-        for worker in self.workers:
-            for task in self.tasks:
-                if pair_feasible(worker, task, self.metric, self.now):
-                    tasks_of[worker.id].append(task.id)
-                    workers_of[task.id].append(worker.id)
+        if self._columnar_code is not None and self.workers and self.tasks:
+            from repro.columnar import ColumnarBatch, feasible_dense
+
+            batch = ColumnarBatch(self.workers, self.tasks)
+            worker_ids, task_ids = batch.worker_ids, batch.task_ids
+            for wpos, tpos in feasible_dense(batch, self.now, self._columnar_code):
+                tasks_of[worker_ids[wpos]].append(task_ids[tpos])
+                workers_of[task_ids[tpos]].append(worker_ids[wpos])
+        else:
+            bounded = self._bounded
+            for worker in self.workers:
+                for task in self.tasks:
+                    if pair_feasible(
+                        worker, task, self.metric, self.now, bounded=bounded
+                    ):
+                        tasks_of[worker.id].append(task.id)
+                        workers_of[task.id].append(worker.id)
         # Canonical (sorted) rows: both build paths and the incremental
         # engine agree exactly, so downstream tie-breaking is build-agnostic.
         for wid in tasks_of:
@@ -229,12 +276,39 @@ class FeasibilityChecker:
 
         tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
         workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
-        for worker, span in zip(self.workers, spans):
-            for tid in index.query_radius(worker.location, span):
-                task = self._task_by_id[tid]
-                if pair_feasible(worker, task, self.metric, self.now):
-                    tasks_of[worker.id].append(tid)
-                    workers_of[tid].append(worker.id)
+        if self._columnar_code is not None:
+            from repro.columnar import ColumnarBatch, feasible_pairs, true_positions
+
+            # Index pruning feeds the tile: candidate (worker, task)
+            # positions flatten into parallel columns, one kernel sweep
+            # decides them all, and only surviving pairs are touched again.
+            batch = ColumnarBatch(self.workers, self.tasks)
+            tpos_of = {t.id: pos for pos, t in enumerate(self.tasks)}
+            widx: List[int] = []
+            tidx: List[int] = []
+            for wpos, (worker, span) in enumerate(zip(self.workers, spans)):
+                candidates = index.query_radius(worker.location, span)
+                widx.extend(wpos for _ in candidates)
+                tidx.extend(tpos_of[tid] for tid in candidates)
+            mask, _, _ = feasible_pairs(
+                batch, widx, tidx, self.now, self._columnar_code
+            )
+            worker_ids, task_ids = batch.worker_ids, batch.task_ids
+            for k in true_positions(mask):
+                wid = worker_ids[widx[k]]
+                tid = task_ids[tidx[k]]
+                tasks_of[wid].append(tid)
+                workers_of[tid].append(wid)
+        else:
+            bounded = self._bounded
+            for worker, span in zip(self.workers, spans):
+                for tid in index.query_radius(worker.location, span):
+                    task = self._task_by_id[tid]
+                    if pair_feasible(
+                        worker, task, self.metric, self.now, bounded=bounded
+                    ):
+                        tasks_of[worker.id].append(tid)
+                        workers_of[tid].append(worker.id)
         for wid in tasks_of:
             tasks_of[wid].sort()
         for tid in workers_of:

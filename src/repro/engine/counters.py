@@ -52,6 +52,29 @@ _COUNTER_FIELDS = (
 
 FIELD_NAMES = tuple(name for name, _ in _COUNTER_FIELDS)
 
+#: Mode-dependent telemetry kept OUT of ``as_dict`` on purpose:
+#: ``SimulationReport.engine_stats`` is pinned bit-identical between the
+#: columnar and scalar build paths, so counters whose values *distinguish*
+#: the paths live in this auxiliary group instead.  They are still
+#: registered (``engine_<name>``) in the obs registry — exporters and the
+#: perf gate read them there or via :meth:`EngineCounters.aux_dict`.
+_AUX_COUNTER_FIELDS = (
+    (
+        "columnar_full_builds",
+        "full feasibility builds evaluated by the columnar kernels",
+    ),
+    (
+        "columnar_pairs",
+        "candidate pairs decided vectorised by the columnar kernels",
+    ),
+    (
+        "scalar_pair_evals",
+        "candidate pairs decided by interpreter-level per-pair evaluation",
+    ),
+)
+
+AUX_FIELD_NAMES = tuple(name for name, _ in _AUX_COUNTER_FIELDS)
+
 
 class EngineCounters:
     """Cumulative counters over an engine's lifetime.
@@ -68,17 +91,27 @@ class EngineCounters:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._counters: Dict[str, Counter] = {
             name: self.registry.counter(f"engine_{name}", help=text)
-            for name, text in _COUNTER_FIELDS
+            for name, text in _COUNTER_FIELDS + _AUX_COUNTER_FIELDS
         }
 
     def as_dict(self, prefix: str = "engine_") -> Dict[str, float]:
         """The counters as a flat float dict (stats-record friendly).
 
         Key order is fixed by :data:`_COUNTER_FIELDS`, so two snapshots can
-        be compared or serialized without sorting first.
+        be compared or serialized without sorting first.  The auxiliary
+        columnar group (:data:`_AUX_COUNTER_FIELDS`) is excluded — see its
+        docstring — read it via :meth:`aux_dict`.
         """
         counters = self._counters
         return {f"{prefix}{name}": float(counters[name].value) for name in FIELD_NAMES}
+
+    def aux_dict(self, prefix: str = "engine_") -> Dict[str, float]:
+        """The mode-dependent columnar telemetry as a flat float dict."""
+        counters = self._counters
+        return {
+            f"{prefix}{name}": float(counters[name].value)
+            for name in AUX_FIELD_NAMES
+        }
 
     def add_game_work(
         self,
@@ -134,6 +167,6 @@ def _counter_property(name: str) -> property:
     return property(_get, _set)
 
 
-for _name in FIELD_NAMES:
+for _name in FIELD_NAMES + AUX_FIELD_NAMES:
     setattr(EngineCounters, _name, _counter_property(_name))
 del _name

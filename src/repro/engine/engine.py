@@ -32,6 +32,14 @@ from __future__ import annotations
 import math
 from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.columnar import (
+    ColumnarBatch,
+    default_columnar,
+    feasible_pairs,
+    skill_candidates_dense,
+    true_positions,
+)
+from repro.columnar.kernels import CODES as COLUMNAR_CODES
 from repro.core.constraints import deadline_ok, reach_radius
 from repro.core.instance import ProblemInstance
 from repro.core.task import Task
@@ -73,6 +81,19 @@ class AllocationEngine:
             a full build fans out; below it the fork/pickle round-trip
             costs more than the evaluations.  None uses
             :data:`~repro.parallel.feasibility.DEFAULT_PAIR_THRESHOLD`.
+        use_columnar: route full builds through the vectorised columnar
+            kernels when the base metric advertises a
+            :attr:`~repro.spatial.distance.DistanceMetric.columnar_code`.
+            None (default) follows the process default
+            (:func:`repro.columnar.default_columnar`).  The graph, the
+            reported ``engine_stats`` and the cache trajectory are
+            bit-identical either way — the kernels share the scalar
+            oracle's exactness contract and the build replays the serial
+            metric-access sequence against the kernel's distances (same
+            :meth:`~repro.spatial.cache.CachedMetric.preload` mechanism as
+            the chunked kernel).  Only the auxiliary
+            :meth:`~repro.engine.counters.EngineCounters.aux_dict`
+            telemetry distinguishes the modes.
     """
 
     def __init__(
@@ -85,9 +106,15 @@ class AllocationEngine:
         cache_maxsize: Optional[int] = None,
         n_jobs: int = 1,
         parallel_threshold: Optional[int] = None,
+        use_columnar: Optional[bool] = None,
     ) -> None:
         self.instance = instance
         self.metric = CachedMetric(instance.metric, maxsize=cache_maxsize)
+        columnar_code = getattr(self.metric.base, "columnar_code", None)
+        enabled = default_columnar() if use_columnar is None else use_columnar
+        self._columnar_code: Optional[str] = (
+            columnar_code if enabled and columnar_code in COLUMNAR_CODES else None
+        )
         self.n_jobs = resolve_jobs(n_jobs)
         self.parallel_threshold = (
             DEFAULT_PAIR_THRESHOLD if parallel_threshold is None else parallel_threshold
@@ -170,6 +197,11 @@ class AllocationEngine:
         return self.counters.as_dict()
 
     @property
+    def columnar_active(self) -> bool:
+        """Whether full builds route through the columnar kernels."""
+        return self._columnar_code is not None
+
+    @property
     def num_workers(self) -> int:
         return len(self._workers)
 
@@ -195,6 +227,9 @@ class AllocationEngine:
             self._workers_of[task.id] = set()
         self._index = self._make_index(workers, tasks, now)
         latest = self._latest_deadline()
+        if self._columnar_code is not None:
+            self._columnar_full_build(workers, latest, now)
+            return
         table_capable = getattr(self.metric.base, "supports_distance_table", False)
         if self.n_jobs <= 1 and not table_capable:
             for worker in workers:
@@ -213,10 +248,83 @@ class AllocationEngine:
         self._prefetch_distances(rows)
         try:
             for worker, candidates in rows:
+                self.counters.scalar_pair_evals += len(candidates)
                 for task_id in candidates:
                     self._link_check(worker, self._tasks[task_id], now)
         finally:
             self.metric.clear_preload()
+
+    def _columnar_full_build(
+        self, workers: Sequence[Worker], latest: float, now: float
+    ) -> None:
+        """Full build with pair decisions made by the columnar kernels.
+
+        Candidate pairs are gathered exactly as in the scalar paths — the
+        same index probes and pruning counters when a grid index exists,
+        the dense cross product otherwise — and decided in one kernel
+        sweep.  The distance cache then *replays* the scalar path's
+        metric-access sequence in bulk
+        (:meth:`~repro.spatial.cache.CachedMetric.replay` over the
+        skill-passing candidates, in row order, with the kernel's
+        distances), so hits, misses, contents and eviction order are
+        bit-identical to a scalar build.  The kernel verdicts agree with
+        ``_link_check`` by the kernels' exactness contract; only the
+        auxiliary columnar counters record which path ran.
+        """
+        tasks = list(self._tasks.values())
+        code = self._columnar_code
+        batch = ColumnarBatch(workers, tasks)
+        if self._index is None:
+            # Dense tile: the skill filter runs inside the kernel, so the
+            # bulk of the cross product is rejected without ever existing
+            # as per-pair python state.  Counter totals match the scalar
+            # ``_candidates_for`` loop exactly.
+            for worker in workers:
+                self._install_row(worker)
+            total = len(workers) * len(tasks)
+            self.counters.pairs_checked += total
+            cand_w, cand_t, dists, mask = skill_candidates_dense(batch, now, code)
+            self.counters.columnar_pairs += total
+        else:
+            tpos = {task.id: pos for pos, task in enumerate(tasks)}
+            rows: List[List[int]] = []
+            for worker in workers:
+                self._install_row(worker)
+                rows.append(self._candidates_for(worker, latest, now))
+            widx: List[int] = []
+            tidx: List[int] = []
+            for pos, candidates in enumerate(rows):
+                widx.extend(pos for _ in candidates)
+                tidx.extend(tpos[tid] for tid in candidates)
+            full_mask, skill_mask, all_dists = feasible_pairs(
+                batch, widx, tidx, now, code
+            )
+            self.counters.columnar_pairs += len(widx)
+            keep = true_positions(skill_mask)
+            cand_w = [widx[k] for k in keep]
+            cand_t = [tidx[k] for k in keep]
+            dists = [all_dists[k] for k in keep]
+            mask = bytes(full_mask[k] for k in keep)
+        self.counters.columnar_full_builds += 1
+        # Cache replay: candidates are in row-major order — exactly the
+        # sequence the scalar build hands the metric — and the kernel's
+        # distances are bitwise what ``base`` would return, so the bulk
+        # replay leaves hits/misses/contents/evictions scalar-identical.
+        self.metric.replay(
+            (
+                (workers[cand_w[k]].location, tasks[cand_t[k]].location)
+                for k in range(len(cand_w))
+            ),
+            dists,
+        )
+        for k in true_positions(mask):
+            worker = workers[cand_w[k]]
+            task = tasks[cand_t[k]]
+            dist = dists[k]
+            # The kernel verdict held, so dist > 0 implies velocity > 0.
+            travel = dist / worker.velocity if dist > 0.0 else 0.0
+            self._tasks_of[worker.id][task.id] = (task.start, task.deadline, travel)
+            self._workers_of[task.id].add(worker.id)
 
     def _prefetch_distances(self, rows: Sequence[Tuple[Worker, List[int]]]) -> None:
         """Evaluate the build's unique uncached pair distances in bulk.
@@ -292,6 +400,7 @@ class AllocationEngine:
                 self._link_check(worker, task, now)
                 checked += 1
         self.counters.pairs_checked += checked
+        self.counters.scalar_pair_evals += checked
 
     def _remove_task(self, task_id: int) -> None:
         del self._tasks[task_id]
@@ -328,7 +437,9 @@ class AllocationEngine:
         self, worker: Worker, latest_deadline: float, now: float
     ) -> None:
         self._install_row(worker)
-        for task_id in self._candidates_for(worker, latest_deadline, now):
+        candidates = self._candidates_for(worker, latest_deadline, now)
+        self.counters.scalar_pair_evals += len(candidates)
+        for task_id in candidates:
             self._link_check(worker, self._tasks[task_id], now)
 
     def _link_check(self, worker: Worker, task: Task, now: float) -> None:

@@ -79,6 +79,11 @@ class Platform:
             Reports are bit-identical for every value.
         parallel_threshold: minimum uncached pair count before a full
             build fans out; None uses the engine default.
+        use_columnar: route the engine's full feasibility builds through
+            the vectorised columnar kernels (planar metrics only).  None
+            follows the process default
+            (:func:`repro.columnar.default_columnar`); reports and
+            ``engine_stats`` are bit-identical either way.
 
     The simulation is deterministic given a deterministic allocator; the
     tracer and metrics record timings only and never feed back into the
@@ -97,6 +102,7 @@ class Platform:
         metrics: Optional[MetricsRegistry] = None,
         n_jobs: int = 1,
         parallel_threshold: Optional[int] = None,
+        use_columnar: Optional[bool] = None,
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
@@ -110,6 +116,7 @@ class Platform:
         self.metrics = metrics
         self.n_jobs = n_jobs
         self.parallel_threshold = parallel_threshold
+        self.use_columnar = use_columnar
         self._metrics_registry: Optional[MetricsRegistry] = metrics
 
     @property
@@ -144,6 +151,7 @@ class Platform:
                 registry=self.metrics,
                 n_jobs=self.n_jobs,
                 parallel_threshold=self.parallel_threshold,
+                use_columnar=self.use_columnar,
             )
             if self.use_engine
             else None

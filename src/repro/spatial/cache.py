@@ -66,6 +66,11 @@ class CachedMetric(DistanceMetric):
         self.base = base
         self.name = base.name
         self.euclidean_lower_bound = base.euclidean_lower_bound
+        # ``columnar_code`` is deliberately NOT forwarded: a cached metric's
+        # hit/miss trajectory is observable state (engine_stats), so generic
+        # consumers (FeasibilityChecker) must keep the per-pair scalar path
+        # that populates it.  The engine opts in explicitly by unwrapping
+        # ``.base`` and replaying the access sequence against a preload.
         self.maxsize = maxsize
         self.policy = policy
         self.hits = 0
@@ -116,6 +121,39 @@ class CachedMetric(DistanceMetric):
     def clear_preload(self) -> None:
         """Drop the prefetched overlay (memoized entries are kept)."""
         self._prefetched = _NO_PREFETCH
+
+    def replay(self, keys, values) -> None:
+        """Apply the access sequence ``[self(a, b) for (a, b) in keys]`` in bulk.
+
+        The caller supplies, pair for pair, the value ``base`` would return
+        — the columnar kernels' exactness contract guarantees exactly that —
+        and this method mutates hits, misses, contents and eviction order
+        precisely as the equivalent ``__call__`` sequence would, minus the
+        per-call overhead.  This is the vectorised sibling of
+        :meth:`preload`: preload intercepts a serial replay the caller still
+        drives call-by-call; ``replay`` *is* the replay, driven here in one
+        tight loop.  Duplicate keys behave exactly like repeated calls
+        (first a miss, repeats hits).
+        """
+        cache = self._cache
+        lru = self._lru
+        maxsize = self.maxsize
+        hits = misses = 0
+        for key, value in zip(keys, values):
+            cached = cache.get(key)
+            if cached is not None:
+                hits += 1
+                if lru:
+                    del cache[key]
+                    cache[key] = cached
+                continue
+            misses += 1
+            if maxsize is not None and len(cache) >= maxsize:
+                del cache[next(iter(cache))]
+                self.evictions += 1
+            cache[key] = value
+        self.hits += hits
+        self.misses += misses
 
     def clear(self) -> None:
         """Drop every memoized entry (counters are kept)."""

@@ -8,7 +8,7 @@ kilometres; the planar metrics are unit-free.
 from __future__ import annotations
 
 import math
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 Point = Tuple[float, float]
 
@@ -52,6 +52,14 @@ class DistanceMetric:
     #: True when this metric never reports less than the Euclidean distance.
     euclidean_lower_bound: bool = False
 
+    #: Kernel code (``"euclidean"`` / ``"manhattan"``) when this metric's
+    #: values are exactly the named closed form, making it eligible for the
+    #: vectorised :mod:`repro.columnar` feasibility kernels.  None (the
+    #: default) keeps the scalar per-pair path.  Declaring a code is a
+    #: *bit-exactness* promise: the kernel must reproduce ``__call__``
+    #: float for float.
+    columnar_code: Optional[str] = None
+
     def __call__(self, a: Point, b: Point) -> float:
         raise NotImplementedError
 
@@ -70,6 +78,7 @@ class EuclideanDistance(DistanceMetric):
 
     name = "euclidean"
     euclidean_lower_bound = True
+    columnar_code = "euclidean"
 
     def __call__(self, a: Point, b: Point) -> float:
         return euclidean(a, b)
@@ -80,6 +89,7 @@ class ManhattanDistance(DistanceMetric):
 
     name = "manhattan"
     euclidean_lower_bound = True  # |dx| + |dy| >= sqrt(dx^2 + dy^2)
+    columnar_code = "manhattan"
 
     def __call__(self, a: Point, b: Point) -> float:
         return manhattan(a, b)

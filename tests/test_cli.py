@@ -111,3 +111,47 @@ class TestRoadnetFlags:
         finally:
             set_default_acceleration(previous)
         assert default_acceleration() == initial
+
+
+class TestColumnarFlags:
+    def _solve(self, tmp_path, *flags):
+        path = tmp_path / "inst.json"
+        main(["generate", "synthetic", "--out", str(path),
+              "--workers", "10", "--tasks", "12", "--seed", "3"])
+        return main(["solve", str(path), "--approach", "Greedy", *flags])
+
+    def test_flags_toggle_the_process_default(self, tmp_path):
+        from repro.columnar import default_columnar, set_default_columnar
+
+        initial = default_columnar()
+        try:
+            assert self._solve(tmp_path, "--no-columnar") == 0
+            assert default_columnar() is False
+            assert self._solve(tmp_path, "--columnar") == 0
+            assert default_columnar() is True
+        finally:
+            set_default_columnar(initial)
+
+    def test_no_flag_leaves_default_alone(self, tmp_path):
+        from repro.columnar import default_columnar, set_default_columnar
+
+        initial = default_columnar()
+        previous = set_default_columnar(False)
+        try:
+            assert self._solve(tmp_path) == 0
+            assert default_columnar() is False
+        finally:
+            set_default_columnar(previous)
+        assert default_columnar() == initial
+
+    def test_run_accepts_columnar_flags(self, tmp_path):
+        from repro.columnar import default_columnar, set_default_columnar
+
+        initial = default_columnar()
+        out_file = tmp_path / "t.txt"
+        try:
+            assert main(["run", "table6", "--scale", "0.3", "--seed", "3",
+                         "--no-columnar", "--out", str(out_file)]) == 0
+            assert default_columnar() is False
+        finally:
+            set_default_columnar(initial)
