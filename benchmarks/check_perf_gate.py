@@ -32,6 +32,14 @@ Two checks, one exit code:
    to perform at least 5x more interpreter-level per-pair feasibility
    evaluations (``scalar_pair_evals`` counter) than the columnar path.
    Counter arithmetic only — deterministic on 1-CPU hosts.
+5. **Events-disabled overhead gate** — reruns the same platform workload
+   with an explicitly *disabled* ``EventJournal`` threaded through the
+   platform/engine/allocator hot paths, asserts the journal records
+   nothing and the report is bit-identical to the journal-free run, and
+   holds the wall-clock to the same committed-baseline envelope as check 1.
+   This pins the flight recorder's zero-cost-when-off contract: the
+   ``if journal.enabled`` guards must never grow real work on the
+   disabled path.
 
 Exit codes: 0 all pass (or no baseline yet for the wall gate), 1 any fail.
 
@@ -66,6 +74,7 @@ ENTRY = "micro_platform_engine"
 GAME_ENTRY = "game_eval_gate"
 ROADNET_ENTRY = "roadnet_settled_gate"
 COLUMNAR_ENTRY = "columnar_pair_gate"
+EVENTS_ENTRY = "events_disabled_gate"
 ROUNDS = 3
 MIN_EVAL_RATIO = 5.0
 MIN_SETTLED_RATIO = 5.0
@@ -209,6 +218,75 @@ def check_columnar_pair_ratio(min_ratio: float) -> bool:
     return ok
 
 
+def check_events_disabled_overhead(
+    instance, baseline_report, baseline_ms: float | None, threshold: float, rounds: int
+) -> bool:
+    """The disabled flight recorder must cost nothing measurable.
+
+    Runs the check-1 workload with an explicit ``EventJournal(enabled=False)``
+    wired through the platform.  The journal must stay empty, the report
+    must be bit-identical to the journal-free baseline run, and — when a
+    committed baseline exists — the wall-clock must stay inside the same
+    ``baseline * threshold`` envelope the undecorated run is held to.
+    """
+    from repro.algorithms.baselines import ClosestBaseline
+    from repro.obs.events import EventJournal
+    from repro.simulation.platform import Platform
+
+    journal = EventJournal(enabled=False)
+    best_ms = float("inf")
+    report = None
+    for _ in range(max(1, rounds)):
+        started = time.perf_counter()
+        candidate = Platform(
+            instance,
+            ClosestBaseline(),
+            batch_interval=1.0,
+            use_engine=True,
+            journal=journal,
+        ).run()
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        if wall_ms < best_ms:
+            best_ms = wall_ms
+            report = candidate
+
+    if len(journal) != 0:
+        print(f"FAIL: disabled journal recorded {len(journal)} events")
+        return False
+    identical = (
+        report.assignments == baseline_report.assignments
+        and report.completion_times == baseline_report.completion_times
+        and report.expired_tasks == baseline_report.expired_tasks
+        and report.engine_stats == baseline_report.engine_stats
+        and [b.score for b in report.batches]
+        == [b.score for b in baseline_report.batches]
+    )
+    if not identical:
+        print("FAIL: disabled-journal report diverges from the plain run")
+        return False
+
+    record_bench_entry(
+        EVENTS_ENTRY,
+        dict(_FEASIBILITY_CONFIG, use_engine=True, journal="disabled"),
+        best_ms,
+        {"events_recorded": 0.0},
+    )
+    if baseline_ms is None:
+        print(
+            f"events-disabled overhead: {best_ms:.1f} ms "
+            f"(no committed baseline yet; recorded)"
+        )
+        return True
+    limit_ms = baseline_ms * threshold
+    ok = best_ms <= limit_ms
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: events-disabled run {best_ms:.1f} ms vs baseline "
+        f"{baseline_ms:.1f} ms (limit {limit_ms:.1f} ms = x{threshold})"
+    )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -249,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
 
     best_ms = float("inf")
     counters: dict = {}
+    report = None
     for round_index in range(max(1, args.rounds)):
         started = time.perf_counter()
         report = _platform_report(instance, use_engine=True)
@@ -264,7 +343,10 @@ def main(argv: list[str] | None = None) -> int:
     roadnet_ok = check_roadnet_settled_ratio(args.min_settled_ratio)
     game_ok = check_game_eval_ratio(args.min_eval_ratio)
     columnar_ok = check_columnar_pair_ratio(args.min_columnar_ratio)
-    counters_ok = roadnet_ok and game_ok and columnar_ok
+    events_ok = check_events_disabled_overhead(
+        instance, report, baseline_ms, args.threshold, args.rounds
+    )
+    counters_ok = roadnet_ok and game_ok and columnar_ok and events_ok
     if baseline_ms is None:
         print(f"no committed baseline for {ENTRY!r}; recorded {best_ms:.1f} ms")
         return 0 if counters_ok else 1

@@ -51,6 +51,7 @@ from repro.algorithms.utility import GameState, ReferenceGameState
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
 from repro.engine.context import BatchContext
+from repro.obs.events import EventJournal, get_journal
 from repro.obs.trace import get_tracer
 
 InitMode = Literal["random", "greedy"]
@@ -133,9 +134,11 @@ class DASCGame(BatchAllocator):
         if self.incremental:
             rounds, skipped = self._best_response(state, strategies, context)
         else:
-            rounds = self._best_response_naive(state, strategies)
+            rounds = self._best_response_naive(state, strategies, context.journal)
             skipped = 0
-        assignment = self._extract(state, previously_assigned, instance, rng)
+        assignment = self._extract(
+            state, previously_assigned, instance, rng, context.journal
+        )
         if self.reassign_losers:
             assignment = self._reassign(
                 assignment, strategies, checker, instance, previously_assigned
@@ -206,6 +209,7 @@ class DASCGame(BatchAllocator):
 
         tracer = context.tracer if context is not None else get_tracer()
         traced = tracer.enabled
+        journal = context.journal if context is not None else get_journal()
         dirty: Set[int] = set(player_order)
         rounds = 0
         total_skipped = 0
@@ -246,6 +250,14 @@ class DASCGame(BatchAllocator):
                     new_flips = nw.get(best_task, 0) == 0 and best_task not in prev
                     state.set_choice(worker_id, best_task)
                     changed += 1
+                    if journal.enabled:
+                        journal.emit(
+                            "game_move",
+                            round=rounds,
+                            worker=worker_id,
+                            frm=current,
+                            to=best_task,
+                        )
                     # Rule 1: contention on the endpoints changed.
                     if current is not None:
                         dirty.update(strategy_index.get(current, _EMPTY))
@@ -266,15 +278,27 @@ class DASCGame(BatchAllocator):
                     span.set("changed", changed)
                     span.set("evaluated", n_players - round_skipped)
                     span.set("skipped", round_skipped)
+                if journal.enabled:
+                    journal.emit(
+                        "game_round",
+                        round=rounds,
+                        changed=changed,
+                        evaluated=n_players - round_skipped,
+                        skipped=round_skipped,
+                    )
             total_skipped += round_skipped
             if changed == 0 or changed / n_players <= self.threshold:
                 break
         return rounds, total_skipped
 
     def _best_response_naive(
-        self, state: ReferenceGameState, strategies: Dict[int, List[int]]
+        self,
+        state: ReferenceGameState,
+        strategies: Dict[int, List[int]],
+        journal: Optional[EventJournal] = None,
     ) -> int:
         """The original full-rescan loop, kept verbatim as the baseline."""
+        journal = journal if journal is not None else get_journal()
         player_order = sorted(strategies)
         n_players = len(player_order)
         rounds = 0
@@ -298,6 +322,22 @@ class DASCGame(BatchAllocator):
                 state.set_choice(worker_id, best_task)
                 if best_task != current:
                     changed += 1
+                    if journal.enabled:
+                        journal.emit(
+                            "game_move",
+                            round=rounds,
+                            worker=worker_id,
+                            frm=current,
+                            to=best_task,
+                        )
+            if journal.enabled:
+                journal.emit(
+                    "game_round",
+                    round=rounds,
+                    changed=changed,
+                    evaluated=n_players,
+                    skipped=0,
+                )
             if changed == 0 or changed / n_players <= self.threshold:
                 break
         return rounds
@@ -308,15 +348,43 @@ class DASCGame(BatchAllocator):
         previously_assigned: AbstractSet[int],
         instance: ProblemInstance,
         rng: random.Random,
+        journal: Optional[EventJournal] = None,
     ) -> Assignment:
+        journal = journal if journal is not None else get_journal()
         assignment = Assignment()
         for task_id in state.chosen_tasks():
             contenders = state.workers_on(task_id)
             winner = contenders[0] if len(contenders) == 1 else rng.choice(contenders)
             assignment.add(winner, task_id)
-        return assignment.prune_dependency_violations(
+            if journal.enabled and len(contenders) > 1:
+                for worker_id in contenders:
+                    if worker_id != winner:
+                        journal.emit(
+                            "game_withdraw",
+                            worker=worker_id,
+                            task=task_id,
+                            cause="contention",
+                        )
+        pruned = assignment.prune_dependency_violations(
             instance.dependency_graph, previously_assigned
         )
+        if journal.enabled:
+            dropped = set(assignment.pairs()) - set(pruned.pairs())
+            for worker_id, task_id in sorted(dropped):
+                journal.emit(
+                    "game_withdraw",
+                    worker=worker_id,
+                    task=task_id,
+                    cause="dependency",
+                )
+                journal.emit(
+                    "reject",
+                    worker=worker_id,
+                    task=task_id,
+                    reason="dependency",
+                    phase="alloc",
+                )
+        return pruned
 
     def _reassign(
         self,

@@ -43,6 +43,7 @@ class DASCGreedy(BatchAllocator):
         if not workers or not tasks:
             return AllocationOutcome(assignment)
         checker = context.checker
+        journal = context.journal
         graph = instance.dependency_graph
         batch_task_ids = {t.id for t in tasks}
         assigned: Set[int] = set(context.previously_assigned)
@@ -93,6 +94,13 @@ class DASCGreedy(BatchAllocator):
                 staffing = match_task_set(
                     sorted(members), free_workers, checker, instance, self.matching
                 )
+                if journal.enabled:
+                    journal.emit(
+                        "match_set",
+                        set=set_id,
+                        size=len(members),
+                        staffed=staffing is not None,
+                    )
                 if staffing is None:
                     failed.add(set_id)
                     continue

@@ -22,12 +22,19 @@ from repro.columnar.batch import (
 )
 from repro.columnar.kernels import (
     CODES,
+    REASON_DEADLINE,
+    REASON_FEASIBLE,
+    REASON_NAMES,
+    REASON_REACH,
+    REASON_SKILL,
     available_backends,
     default_columnar,
     feasible_dense,
     feasible_pairs,
     numpy_available,
     pair_distances,
+    rejection_reasons,
+    rejection_reasons_dense,
     resolve_backend,
     set_default_columnar,
     skill_candidates_dense,
@@ -37,6 +44,11 @@ from repro.columnar.kernels import (
 __all__ = [
     "CODES",
     "ColumnarBatch",
+    "REASON_DEADLINE",
+    "REASON_FEASIBLE",
+    "REASON_NAMES",
+    "REASON_REACH",
+    "REASON_SKILL",
     "available_backends",
     "default_columnar",
     "feasible_dense",
@@ -46,6 +58,8 @@ __all__ = [
     "numpy_available",
     "pack_pair_columns",
     "pair_distances",
+    "rejection_reasons",
+    "rejection_reasons_dense",
     "resolve_backend",
     "set_default_columnar",
     "skill_candidates_dense",

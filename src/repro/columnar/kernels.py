@@ -417,6 +417,171 @@ def skill_candidates_dense(
     return widx, tidx, dists, bytes(mask)
 
 
+#: Per-pair verdict codes produced by the reason kernels.  ``0`` means the
+#: pair is feasible; the rejection codes index :data:`REASON_NAMES` and
+#: follow the scalar short-circuit precedence of
+#: :func:`repro.core.constraints.pair_rejection_reason` exactly:
+#: skill before reach before deadline.
+REASON_FEASIBLE = 0
+REASON_SKILL = 1
+REASON_REACH = 2
+REASON_DEADLINE = 3
+
+#: Reason-code -> journal reason string (position 0 is the feasible verdict).
+REASON_NAMES = ("", "skill", "reach", "deadline")
+
+
+def rejection_reasons(
+    batch: ColumnarBatch,
+    widx: Sequence[int],
+    tidx: Sequence[int],
+    now: float,
+    code: str,
+    backend: Optional[str] = None,
+) -> bytes:
+    """Per-pair verdict codes over a flattened tile of (worker, task) positions.
+
+    The reason-coded twin of :func:`feasible_pairs`: entry ``k`` is
+    :data:`REASON_FEASIBLE` exactly when ``feasible_pairs`` would set
+    ``mask[k]``, and otherwise names the first failing constraint under the
+    scalar precedence (skill -> reach -> deadline).  Runs only when the
+    event journal is enabled, and is observational-only: it does **not**
+    touch the kernel counters, so engine_stats stay bit-identical with
+    events on or off.
+    """
+    count = len(widx)
+    if count != len(tidx):
+        raise ValueError(f"widx/tidx length mismatch: {count} vs {len(tidx)}")
+    if count == 0:
+        return b""
+    if resolve_backend(backend) == "numpy":
+        return _rejection_reasons_numpy(batch, widx, tidx, now, code)
+    return _rejection_reasons_fallback(batch, widx, tidx, now, code)
+
+
+def _rejection_reasons_numpy(
+    batch: ColumnarBatch,
+    widx: Sequence[int],
+    tidx: Sequence[int],
+    now: float,
+    code: str,
+) -> bytes:
+    np = _np
+    wi = np.asarray(widx, dtype=np.intp)
+    ti = np.asarray(tidx, dtype=np.intp)
+    words = batch.n_skill_words
+    wskills = np.frombuffer(batch.wskills, dtype=np.uint64).reshape(
+        batch.n_workers, words
+    )
+    tword = np.frombuffer(batch.tskill_word, dtype=np.int64)
+    tbit = np.frombuffer(batch.tskill_bitmask, dtype=np.uint64)
+    skill = (wskills[wi, tword[ti]] & tbit[ti]) != 0
+
+    wx = np.frombuffer(batch.wx, dtype=np.float64)[wi]
+    wy = np.frombuffer(batch.wy, dtype=np.float64)[wi]
+    tx = np.frombuffer(batch.tx, dtype=np.float64)[ti]
+    ty = np.frombuffer(batch.ty, dtype=np.float64)[ti]
+    dx = wx - tx
+    dy = wy - ty
+    if code == "manhattan":
+        dist = np.abs(dx) + np.abs(dy)
+    else:
+        dist = np.fromiter(
+            map(math.hypot, dx.tolist(), dy.tolist()),
+            dtype=np.float64,
+            count=len(widx),
+        )
+
+    wstart = np.frombuffer(batch.wstart, dtype=np.float64)[wi]
+    wdeadline = np.frombuffer(batch.wdeadline, dtype=np.float64)[wi]
+    velocity = np.frombuffer(batch.wvelocity, dtype=np.float64)[wi]
+    reach = np.frombuffer(batch.wmax_distance, dtype=np.float64)[wi]
+    tstart = np.frombuffer(batch.tstart, dtype=np.float64)[ti]
+    tdeadline = np.frombuffer(batch.tdeadline, dtype=np.float64)[ti]
+
+    depart = np.maximum(wstart, tstart)
+    if now != -math.inf:
+        depart = np.maximum(depart, now)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        arrival_ok = depart + dist / velocity <= tdeadline
+    time_ok = (
+        (depart <= tdeadline) & (depart <= wdeadline) & ((dist == 0.0) | arrival_ok)
+    )
+    reach_ok = dist <= reach
+
+    codes = np.zeros(len(widx), dtype=np.uint8)
+    codes[~skill] = REASON_SKILL
+    codes[skill & ~reach_ok] = REASON_REACH
+    codes[skill & reach_ok & ~time_ok] = REASON_DEADLINE
+    return codes.tobytes()
+
+
+def _rejection_reasons_fallback(
+    batch: ColumnarBatch,
+    widx: Sequence[int],
+    tidx: Sequence[int],
+    now: float,
+    code: str,
+) -> bytes:
+    wx, wy = batch.wx, batch.wy
+    wstart, wdeadline = batch.wstart, batch.wdeadline
+    velocity, reach = batch.wvelocity, batch.wmax_distance
+    wskills, words = batch.wskills, batch.n_skill_words
+    tx, ty = batch.tx, batch.ty
+    tstart, tdeadline = batch.tstart, batch.tdeadline
+    tword, tbit = batch.tskill_word, batch.tskill_bitmask
+    hypot = math.hypot
+    manhattan = code == "manhattan"
+
+    count = len(widx)
+    codes = bytearray(count)
+    for k in range(count):
+        i = widx[k]
+        j = tidx[k]
+        if not (wskills[i * words + tword[j]] & tbit[j]):
+            codes[k] = REASON_SKILL
+            continue
+        if manhattan:
+            dist = abs(wx[i] - tx[j]) + abs(wy[i] - ty[j])
+        else:
+            dist = hypot(wx[i] - tx[j], wy[i] - ty[j])
+        if dist > reach[i]:
+            codes[k] = REASON_REACH
+            continue
+        depart = wstart[i]
+        if tstart[j] > depart:
+            depart = tstart[j]
+        if now > depart:
+            depart = now
+        if depart > tdeadline[j] or depart > wdeadline[i]:
+            codes[k] = REASON_DEADLINE
+        elif dist == 0.0:
+            pass
+        elif velocity[i] <= 0.0 or depart + dist / velocity[i] > tdeadline[j]:
+            codes[k] = REASON_DEADLINE
+    return bytes(codes)
+
+
+def rejection_reasons_dense(
+    batch: ColumnarBatch,
+    now: float,
+    code: str,
+    backend: Optional[str] = None,
+) -> bytes:
+    """Verdict codes over the full worker x task cross product.
+
+    Row-major (worker-then-task) order, matching :func:`feasible_dense`:
+    ``codes[i * n_tasks + j]`` is :data:`REASON_FEASIBLE` exactly when
+    ``(i, j)`` appears in the dense feasible-pair list.
+    """
+    n_w, n_t = batch.n_workers, batch.n_tasks
+    if n_w == 0 or n_t == 0:
+        return b""
+    widx = [i for i in range(n_w) for _ in range(n_t)]
+    tidx = list(range(n_t)) * n_w
+    return rejection_reasons(batch, widx, tidx, now, code, backend=backend)
+
+
 def true_positions(mask: bytes, backend: Optional[str] = None) -> List[int]:
     """Indices of the set entries of a kernel mask.
 

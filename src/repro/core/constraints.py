@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.obs.events import EventJournal, get_journal
 from repro.spatial.distance import DistanceMetric, EuclideanDistance
 from repro.spatial.index import GridIndex
 
@@ -128,6 +129,59 @@ def pair_feasible(
     )
 
 
+def pair_rejection_reason(
+    worker: Worker,
+    task: Task,
+    metric: Optional[DistanceMetric] = None,
+    now: float = -math.inf,
+    *,
+    bounded=_UNRESOLVED,
+) -> Optional[str]:
+    """The first failing constraint of ``(w, t)``, or None when feasible.
+
+    The reason-coded twin of :func:`pair_feasible`: the metric is evaluated
+    exactly once with the same bounded/unbounded resolution, and the
+    precedence mirrors the scalar short-circuit exactly — ``skill`` before
+    ``reach`` (``dist > d_w``) before ``deadline`` — so ``reason is None``
+    iff ``pair_feasible(...)``.  Emitted into the event journal as
+    :data:`repro.obs.events.REASONS` codes (the fourth code,
+    ``dependency``, is an assignment-level property and never returned
+    here).
+    """
+    if not skill_ok(worker, task):
+        return "skill"
+    metric = metric or _EUCLIDEAN
+    if bounded is _UNRESOLVED:
+        bounded = getattr(metric, "bounded_distance", None)
+    if bounded is not None:
+        dist = bounded(worker.location, task.location, worker.max_distance)
+    else:
+        dist = metric(worker.location, task.location)
+    if not within_range(worker, task, dist=dist):
+        return "reach"
+    if not deadline_ok(worker, task, now=now, dist=dist):
+        return "deadline"
+    return None
+
+
+def prune_rejection_reason(worker: Worker, euclid_dist: float) -> str:
+    """A sound reason code for a pair the spatial index pruned.
+
+    Pruning guarantees ``euclid_dist > reach_radius(w, latest_deadline,
+    now) = min(d_w, v_w * Δt)`` where the true metric distance is
+    lower-bounded by ``euclid_dist``.  If the Euclidean bound already
+    exceeds ``d_w`` the pair certainly fails the range constraint
+    (``reach``); otherwise it exceeded ``v_w * Δt``, and since ``Δt``
+    over-approximates the travel budget of every task in the batch
+    (``latest_deadline >= s_t + w_t`` and the departure only moves later),
+    the arrival test certainly fails (``deadline`` — also covering the
+    ``v_w <= 0`` degenerate case, where the radius collapses to 0).  The
+    pruned pair may *additionally* fail the skill constraint, but the code
+    returned here is always one the exact check would confirm.
+    """
+    return "reach" if euclid_dist > worker.max_distance else "deadline"
+
+
 def reach_radius(worker: Worker, latest_deadline: float, now: float = -math.inf) -> float:
     """The pruning radius outside which no task can be feasible for ``worker``.
 
@@ -161,6 +215,12 @@ class FeasibilityChecker:
             :class:`~repro.spatial.cache.CachedMetric` never is, because
             its hit/miss trajectory is observable state the scalar path
             must keep populating.  Pair sets are bit-identical either way.
+        journal: event journal receiving reason-coded per-pair rejections
+            (``phase="checker"`` for exact checks, ``phase="prune"`` for
+            index-pruned pairs) and one ``feas_build`` summary.  None
+            follows the process default (:func:`repro.obs.events.
+            get_journal`); recording is observational only — the feasible
+            pair sets are bit-identical with journaling on or off.
 
     The per-worker pruning radius is ``min(d_w, v_w * (latest task deadline -
     earliest departure))`` — no feasible task can lie outside it (for
@@ -176,6 +236,7 @@ class FeasibilityChecker:
         now: float = -math.inf,
         use_index: bool = True,
         use_columnar: Optional[bool] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         from repro.columnar import CODES, default_columnar
 
@@ -184,6 +245,7 @@ class FeasibilityChecker:
         self.metric = metric or _EUCLIDEAN
         self.now = now
         self._bounded = resolve_bounded(self.metric)
+        self.journal = journal if journal is not None else get_journal()
         if use_columnar is None:
             use_columnar = default_columnar()
         code = getattr(self.metric, "columnar_code", None)
@@ -197,6 +259,19 @@ class FeasibilityChecker:
         self._task_sets = {
             wid: frozenset(tids) for wid, tids in self._tasks_of.items()
         }
+        if self.journal.enabled:
+            # Every (worker, task) pair of the batch is decided exactly once
+            # (checked exactly or index-pruned), so the funnel arithmetic
+            # pairs == rejects + feasible holds by construction.
+            self.journal.emit(
+                "feas_build",
+                mode="checker",
+                workers=len(self.workers),
+                tasks=len(self.tasks),
+                pairs=len(self.workers) * len(self.tasks),
+                feasible=self.pair_count(),
+                columnar=self._columnar_code is not None,
+            )
 
     # -- public API --------------------------------------------------------------
 
@@ -228,6 +303,7 @@ class FeasibilityChecker:
     ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
         tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
         workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
+        journal = self.journal
         if self._columnar_code is not None and self.workers and self.tasks:
             from repro.columnar import ColumnarBatch, feasible_dense
 
@@ -236,6 +312,41 @@ class FeasibilityChecker:
             for wpos, tpos in feasible_dense(batch, self.now, self._columnar_code):
                 tasks_of[worker_ids[wpos]].append(task_ids[tpos])
                 workers_of[task_ids[tpos]].append(worker_ids[wpos])
+            if journal.enabled:
+                # The reason kernel is a side observation: decisions above
+                # come from the same feasible_dense call as before, and the
+                # kernel touches no counters.
+                from repro.columnar import REASON_NAMES, rejection_reasons_dense
+
+                codes = rejection_reasons_dense(batch, self.now, self._columnar_code)
+                n_t = batch.n_tasks
+                for k, verdict in enumerate(codes):
+                    if verdict:
+                        journal.emit(
+                            "reject",
+                            worker=worker_ids[k // n_t],
+                            task=task_ids[k % n_t],
+                            reason=REASON_NAMES[verdict],
+                            phase="checker",
+                        )
+        elif journal.enabled:
+            bounded = self._bounded
+            for worker in self.workers:
+                for task in self.tasks:
+                    reason = pair_rejection_reason(
+                        worker, task, self.metric, self.now, bounded=bounded
+                    )
+                    if reason is None:
+                        tasks_of[worker.id].append(task.id)
+                        workers_of[task.id].append(worker.id)
+                    else:
+                        journal.emit(
+                            "reject",
+                            worker=worker.id,
+                            task=task.id,
+                            reason=reason,
+                            phase="checker",
+                        )
         else:
             bounded = self._bounded
             for worker in self.workers:
@@ -252,6 +363,25 @@ class FeasibilityChecker:
         for tid in workers_of:
             workers_of[tid].sort()
         return tasks_of, workers_of
+
+    def _journal_pruned(self, worker: Worker, candidate_ids: set) -> None:
+        # Index-pruned pairs never reach an exact check, but the journal
+        # still needs a decision for each: the Euclidean lower bound that
+        # justified the prune also names a constraint the pair provably
+        # fails (see prune_rejection_reason).
+        journal = self.journal
+        wx, wy = worker.location
+        for task in self.tasks:
+            if task.id in candidate_ids:
+                continue
+            lb = math.hypot(wx - task.location[0], wy - task.location[1])
+            journal.emit(
+                "reject",
+                worker=worker.id,
+                task=task.id,
+                reason=prune_rejection_reason(worker, lb),
+                phase="prune",
+            )
 
     def _build_with_index(
         self,
@@ -276,6 +406,7 @@ class FeasibilityChecker:
 
         tasks_of: Dict[int, List[int]] = {w.id: [] for w in self.workers}
         workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
+        journal = self.journal
         if self._columnar_code is not None:
             from repro.columnar import ColumnarBatch, feasible_pairs, true_positions
 
@@ -288,6 +419,8 @@ class FeasibilityChecker:
             tidx: List[int] = []
             for wpos, (worker, span) in enumerate(zip(self.workers, spans)):
                 candidates = index.query_radius(worker.location, span)
+                if journal.enabled:
+                    self._journal_pruned(worker, set(candidates))
                 widx.extend(wpos for _ in candidates)
                 tidx.extend(tpos_of[tid] for tid in candidates)
             mask, _, _ = feasible_pairs(
@@ -299,10 +432,45 @@ class FeasibilityChecker:
                 tid = task_ids[tidx[k]]
                 tasks_of[wid].append(tid)
                 workers_of[tid].append(wid)
+            if journal.enabled:
+                from repro.columnar import REASON_NAMES, rejection_reasons
+
+                codes = rejection_reasons(
+                    batch, widx, tidx, self.now, self._columnar_code
+                )
+                for k, verdict in enumerate(codes):
+                    if verdict:
+                        journal.emit(
+                            "reject",
+                            worker=worker_ids[widx[k]],
+                            task=task_ids[tidx[k]],
+                            reason=REASON_NAMES[verdict],
+                            phase="checker",
+                        )
         else:
             bounded = self._bounded
             for worker, span in zip(self.workers, spans):
-                for tid in index.query_radius(worker.location, span):
+                candidates = index.query_radius(worker.location, span)
+                if journal.enabled:
+                    self._journal_pruned(worker, set(candidates))
+                    for tid in candidates:
+                        task = self._task_by_id[tid]
+                        reason = pair_rejection_reason(
+                            worker, task, self.metric, self.now, bounded=bounded
+                        )
+                        if reason is None:
+                            tasks_of[worker.id].append(tid)
+                            workers_of[tid].append(worker.id)
+                        else:
+                            journal.emit(
+                                "reject",
+                                worker=worker.id,
+                                task=tid,
+                                reason=reason,
+                                phase="checker",
+                            )
+                    continue
+                for tid in candidates:
                     task = self._task_by_id[tid]
                     if pair_feasible(
                         worker, task, self.metric, self.now, bounded=bounded

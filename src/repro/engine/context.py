@@ -34,6 +34,7 @@ from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.engine.counters import EngineCounters
+from repro.obs.events import EventJournal, get_journal
 from repro.obs.trace import Tracer, get_tracer
 from repro.spatial.distance import DistanceMetric
 
@@ -97,6 +98,10 @@ class BatchContext:
             process default (usually the shared no-op tracer) otherwise;
             allocators record one ``alloc.<name>`` span per invocation
             through it.
+        journal: the run's event journal — the engine's when engine-built,
+            the process default (usually the shared no-op journal)
+            otherwise; allocators emit game rounds/moves/withdrawals and
+            match-set events through it.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class BatchContext:
         checker_factory: Optional[Callable[[], object]] = None,
         stats_snapshot: Optional[Dict[str, float]] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         self.workers = list(workers)
         self.tasks = list(tasks)
@@ -121,6 +127,7 @@ class BatchContext:
         self.metric = metric if metric is not None else instance.metric
         self.counters = counters
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.journal = journal if journal is not None else get_journal()
         # The engine snapshots its counters *before* the batch's graph
         # update, so per-batch deltas include that update's work.
         if stats_snapshot is not None:
@@ -140,9 +147,15 @@ class BatchContext:
         instance: ProblemInstance,
         now: float = -math.inf,
         previously_assigned: AbstractSet[int] = frozenset(),
+        *,
+        tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
     ) -> "BatchContext":
         """A self-contained context (the compatibility-shim path)."""
-        return cls(workers, tasks, instance, now, previously_assigned)
+        return cls(
+            workers, tasks, instance, now, previously_assigned,
+            tracer=tracer, journal=journal,
+        )
 
     # -- feasibility -------------------------------------------------------------
 
@@ -159,7 +172,11 @@ class BatchContext:
                 self._checker = self._checker_factory()
             else:
                 self._checker = FeasibilityChecker(
-                    self.workers, self.tasks, metric=self.metric, now=self.now
+                    self.workers,
+                    self.tasks,
+                    metric=self.metric,
+                    now=self.now,
+                    journal=self.journal,
                 )
         return self._checker
 

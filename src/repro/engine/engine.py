@@ -33,19 +33,23 @@ import math
 from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.columnar import (
+    REASON_NAMES,
     ColumnarBatch,
     default_columnar,
     feasible_pairs,
+    rejection_reasons,
+    rejection_reasons_dense,
     skill_candidates_dense,
     true_positions,
 )
 from repro.columnar.kernels import CODES as COLUMNAR_CODES
-from repro.core.constraints import deadline_ok, reach_radius
+from repro.core.constraints import deadline_ok, prune_rejection_reason, reach_radius
 from repro.core.instance import ProblemInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.engine.context import BatchContext
 from repro.engine.counters import EngineCounters
+from repro.obs.events import EventJournal, get_journal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.feasibility import DEFAULT_PAIR_THRESHOLD, evaluate_pairs
@@ -107,6 +111,7 @@ class AllocationEngine:
         n_jobs: int = 1,
         parallel_threshold: Optional[int] = None,
         use_columnar: Optional[bool] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         self.instance = instance
         self.metric = CachedMetric(instance.metric, maxsize=cache_maxsize)
@@ -122,6 +127,9 @@ class AllocationEngine:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.counters = EngineCounters(self.registry)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Reason-coded rejections and feas_build summaries flow here; the
+        # shared NULL_JOURNAL default keeps the disabled path to one branch.
+        self.journal = journal if journal is not None else get_journal()
         self._cache_size_gauge = self.registry.gauge(
             "engine_cache_size", "entries currently memoized by the distance cache"
         )
@@ -167,10 +175,12 @@ class AllocationEngine:
                 self._full_build(workers, tasks, now)
             self.counters.full_builds += 1
             self._built = True
+            mode = "full"
         else:
             with self.tracer.span("engine.incremental_update") as span:
                 self._incremental_update(workers, tasks, now)
             self.counters.incremental_updates += 1
+            mode = "incremental"
         self._now = now
         self._sync_cache_counters()
         if self.tracer.enabled:
@@ -178,6 +188,23 @@ class AllocationEngine:
             span.set("tasks", len(tasks))
             span.set("cache_hits", self.counters.cache_hits - snapshot["engine_cache_hits"])
             span.set("cache_misses", self.counters.cache_misses - snapshot["engine_cache_misses"])
+        if self.journal.enabled:
+            after = self.counters.as_dict()
+            # Pairs decided by this build/update: exact checks plus
+            # index-pruned pairs (each of which also got a prune reject).
+            self.journal.emit(
+                "feas_build",
+                mode=mode,
+                workers=len(workers),
+                tasks=len(tasks),
+                pairs=int(
+                    after["engine_pairs_checked"]
+                    - snapshot["engine_pairs_checked"]
+                    + after["engine_pruned_by_index"]
+                    - snapshot["engine_pruned_by_index"]
+                ),
+                columnar=self._columnar_code is not None,
+            )
         return BatchContext(
             workers,
             tasks,
@@ -189,6 +216,7 @@ class AllocationEngine:
             checker_factory=lambda: BatchFeasibilityView(self, workers, tasks, now),
             stats_snapshot=snapshot,
             tracer=self.tracer,
+            journal=self.journal,
         )
 
     def stats(self) -> Dict[str, float]:
@@ -285,6 +313,20 @@ class AllocationEngine:
             self.counters.pairs_checked += total
             cand_w, cand_t, dists, mask = skill_candidates_dense(batch, now, code)
             self.counters.columnar_pairs += total
+            if self.journal.enabled:
+                # Reason side-channel: decisions stay with the kernel call
+                # above; the reason sweep touches no counters.
+                codes = rejection_reasons_dense(batch, now, code)
+                n_t = len(tasks)
+                for k, verdict in enumerate(codes):
+                    if verdict:
+                        self.journal.emit(
+                            "reject",
+                            worker=workers[k // n_t].id,
+                            task=tasks[k % n_t].id,
+                            reason=REASON_NAMES[verdict],
+                            phase="build",
+                        )
         else:
             tpos = {task.id: pos for pos, task in enumerate(tasks)}
             rows: List[List[int]] = []
@@ -300,6 +342,17 @@ class AllocationEngine:
                 batch, widx, tidx, now, code
             )
             self.counters.columnar_pairs += len(widx)
+            if self.journal.enabled:
+                codes = rejection_reasons(batch, widx, tidx, now, code)
+                for k, verdict in enumerate(codes):
+                    if verdict:
+                        self.journal.emit(
+                            "reject",
+                            worker=workers[widx[k]].id,
+                            task=tasks[tidx[k]].id,
+                            reason=REASON_NAMES[verdict],
+                            phase="build",
+                        )
             keep = true_positions(skill_mask)
             cand_w = [widx[k] for k in keep]
             cand_t = [tidx[k] for k in keep]
@@ -428,10 +481,31 @@ class AllocationEngine:
             span = reach_radius(worker, latest_deadline, now)
             candidates = list(self._index.query_radius(worker.location, span))
             self.counters.pruned_by_index += len(self._tasks) - len(candidates)
+            if self.journal.enabled and len(candidates) < len(self._tasks):
+                self._journal_pruned(worker, set(candidates))
         else:
             candidates = list(self._tasks)
         self.counters.pairs_checked += len(candidates)
         return candidates
+
+    def _journal_pruned(self, worker: Worker, candidate_ids: Set[int]) -> None:
+        # An index-pruned pair provably fails reach or the arrival deadline:
+        # its Euclidean lower bound exceeded min(d_w, v_w * Δt), and the
+        # true metric distance is at least that bound (see
+        # prune_rejection_reason for the case split).
+        journal = self.journal
+        wx, wy = worker.location
+        for task in self._tasks.values():
+            if task.id in candidate_ids:
+                continue
+            lb = math.hypot(wx - task.location[0], wy - task.location[1])
+            journal.emit(
+                "reject",
+                worker=worker.id,
+                task=task.id,
+                reason=prune_rejection_reason(worker, lb),
+                phase="prune",
+            )
 
     def _recompute_row(
         self, worker: Worker, latest_deadline: float, now: float
@@ -450,11 +524,26 @@ class AllocationEngine:
         # Callers count ``pairs_checked`` in bulk — a per-pair counter
         # increment here dominates the link check itself.
         if task.skill not in worker.skills:
+            if self.journal.enabled:
+                self.journal.emit(
+                    "reject", worker=worker.id, task=task.id,
+                    reason="skill", phase="build",
+                )
             return
         dist = self.metric(worker.location, task.location)
-        if dist > worker.max_distance or not deadline_ok(
-            worker, task, now=now, dist=dist
-        ):
+        if dist > worker.max_distance:
+            if self.journal.enabled:
+                self.journal.emit(
+                    "reject", worker=worker.id, task=task.id,
+                    reason="reach", phase="build",
+                )
+            return
+        if not deadline_ok(worker, task, now=now, dist=dist):
+            if self.journal.enabled:
+                self.journal.emit(
+                    "reject", worker=worker.id, task=task.id,
+                    reason="deadline", phase="build",
+                )
             return
         # ``deadline_ok`` held, so dist > 0 implies velocity > 0 here.
         travel = dist / worker.velocity if dist > 0.0 else 0.0
@@ -522,6 +611,7 @@ class BatchFeasibilityView:
         self.tasks = list(tasks)
         self.metric = engine.metric
         self.now = now
+        journal = engine.journal
         tasks_of: Dict[int, List[int]] = {}
         workers_of: Dict[int, List[int]] = {t.id: [] for t in self.tasks}
         checked = 0
@@ -540,6 +630,13 @@ class BatchFeasibilityView:
                 if depart <= w_deadline and depart + travel <= t_deadline:
                     row.append(tid)
                     workers_of[tid].append(worker.id)
+                elif journal.enabled:
+                    # A stored link only ever *ages out* of the deadline
+                    # test — the other constraints were settled at link time.
+                    journal.emit(
+                        "reject", worker=worker.id, task=tid,
+                        reason="deadline", phase="view",
+                    )
             tasks_of[worker.id] = row
         for tid in workers_of:
             workers_of[tid].sort()
@@ -548,6 +645,8 @@ class BatchFeasibilityView:
         self._tasks_of = tasks_of
         self._workers_of = workers_of
         self._task_sets = {wid: frozenset(row) for wid, row in tasks_of.items()}
+        if journal.enabled:
+            journal.emit("feas_view", links=checked, feasible=self.pair_count())
 
     # -- FeasibilityChecker API ---------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Explainability over the allocation flight recorder.
+
+Consumes the structured event journal of :mod:`repro.obs.events` and turns
+it into answers:
+
+* :class:`~repro.explain.query.ExplainIndex` — ``why_not(worker, task)``,
+  ``why_assigned(task)``, per-batch ``funnel`` and a run ``summary``;
+* :func:`~repro.explain.replay.replay_report` /
+  :func:`~repro.explain.replay.validate_replay` — rebuild the
+  :class:`~repro.simulation.stats.SimulationReport` from events alone and
+  assert bit-identity with the platform's report;
+* :func:`~repro.explain.report.run_report_text` /
+  :func:`~repro.explain.report.run_report_html` — operator-facing run
+  reports joining events with trace and metrics dumps.
+"""
+
+from repro.explain.query import ExplainIndex
+from repro.explain.replay import (
+    replay_report,
+    split_runs,
+    strip_header,
+    validate_replay,
+)
+from repro.explain.report import run_report_html, run_report_text
+
+__all__ = [
+    "ExplainIndex",
+    "replay_report",
+    "run_report_html",
+    "run_report_text",
+    "split_runs",
+    "strip_header",
+    "validate_replay",
+]

@@ -1,0 +1,149 @@
+"""Replay an events journal back into a :class:`SimulationReport`.
+
+The flight recorder's strongest guarantee is that the journal is a *complete*
+account of a run: every batch, assignment, completion and expiry appears as
+an event.  :func:`replay_report` proves it constructively — it rebuilds a
+:class:`~repro.simulation.stats.SimulationReport` from the events alone, and
+:func:`validate_replay` asserts the rebuild is bit-identical to the report
+the platform actually returned (wall-clock ``elapsed`` and ``engine_stats``
+are performance measurements, not allocation facts, so they are excluded:
+the replayed report carries ``elapsed=0.0`` and empty stats).
+
+A JSONL file may hold several concatenated runs (``run_open`` simply appears
+again); :func:`split_runs` separates them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.simulation.stats import BatchRecord, SimulationReport
+
+
+def strip_header(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Drop a leading schema-header record, if present."""
+    if records and records[0].get("type") == "header":
+        return list(records[1:])
+    return list(records)
+
+
+def split_runs(records: Sequence[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+    """Split an event stream into one list per platform run.
+
+    Each run starts at its ``run_open``.  Events before the first
+    ``run_open`` belong to no platform run (e.g. a standalone single-batch
+    solve journaled through the process default) and are skipped — they are
+    still valid journal records, just not replayable as a run.
+    """
+    events = strip_header(records)
+    runs: List[List[Dict[str, Any]]] = []
+    for event in events:
+        if event.get("type") == "run_open":
+            runs.append([event])
+        elif runs:
+            runs[-1].append(event)
+    return runs
+
+
+def replay_report(records: Sequence[Dict[str, Any]], run: int = 0) -> SimulationReport:
+    """Rebuild the run's :class:`SimulationReport` from its events.
+
+    Args:
+        records: an events dump (header optional), possibly holding several
+            runs.
+        run: which run to replay (0-based, in file order).
+
+    The rebuilt report carries ``elapsed=0.0`` per batch and empty
+    ``engine_stats`` — those are measurements of *how fast* the run was, not
+    of *what it decided*, and are deliberately outside the replay contract.
+    """
+    runs = split_runs(records)
+    if not runs:
+        raise ValueError("no run_open event found: nothing to replay")
+    if not (0 <= run < len(runs)):
+        raise ValueError(f"run index {run} out of range (file holds {len(runs)})")
+    events = runs[run]
+
+    report = SimulationReport(allocator=events[0]["allocator"])
+    open_batches: Dict[int, Dict[str, Any]] = {}
+    expired: List[int] = []
+    for event in events:
+        etype = event["type"]
+        if etype == "batch_open":
+            open_batches[event["batch"]] = event
+        elif etype == "batch_close":
+            opened = open_batches.pop(event["batch"], None)
+            if opened is None:
+                raise ValueError(f"batch_close without batch_open: {event!r}")
+            report.batches.append(
+                BatchRecord(
+                    index=event["batch"],
+                    time=event["t"],
+                    available_workers=opened["workers"],
+                    open_tasks=opened["tasks"],
+                    score=event["score"],
+                    elapsed=0.0,
+                )
+            )
+        elif etype == "assign":
+            report.assignments[event["task"]] = event["worker"]
+        elif etype == "complete":
+            report.completion_times[event["task"]] = event["t"]
+        elif etype == "task_expire":
+            expired.append(event["task"])
+    if open_batches:
+        raise ValueError(f"run ended with unclosed batches: {sorted(open_batches)}")
+    report.expired_tasks = sorted(expired)
+
+    close = events[-1]
+    if close.get("type") == "run_close":
+        checks = (
+            ("score", report.total_score),
+            ("batches", report.num_batches),
+            ("assigned", len(report.assignments)),
+            ("expired", len(report.expired_tasks)),
+        )
+        for key, got in checks:
+            if close[key] != got:
+                raise ValueError(
+                    f"run_close disagrees with replay: {key}={close[key]} "
+                    f"but events yield {got}"
+                )
+    return report
+
+
+def validate_replay(
+    records: Sequence[Dict[str, Any]], report: SimulationReport, run: int = 0
+) -> SimulationReport:
+    """Assert the journal replays bit-identically to ``report``.
+
+    Compares the allocator name, every :class:`BatchRecord` field except
+    ``elapsed``, and the full assignment / completion / expiry outcome.
+    Raises ``ValueError`` naming the first divergence; returns the replayed
+    report on success.
+    """
+    replayed = replay_report(records, run=run)
+    if replayed.allocator != report.allocator:
+        raise ValueError(
+            f"allocator mismatch: replay={replayed.allocator!r} "
+            f"report={report.allocator!r}"
+        )
+    if len(replayed.batches) != len(report.batches):
+        raise ValueError(
+            f"batch count mismatch: replay={len(replayed.batches)} "
+            f"report={len(report.batches)}"
+        )
+    for got, want in zip(replayed.batches, report.batches):
+        for fld in ("index", "time", "available_workers", "open_tasks", "score"):
+            if getattr(got, fld) != getattr(want, fld):
+                raise ValueError(
+                    f"batch {want.index} field {fld!r} mismatch: "
+                    f"replay={getattr(got, fld)!r} report={getattr(want, fld)!r}"
+                )
+    if replayed.assignments != report.assignments:
+        raise ValueError("assignments mismatch between replay and report")
+    if replayed.completion_times != report.completion_times:
+        raise ValueError("completion_times mismatch between replay and report")
+    if replayed.expired_tasks != sorted(report.expired_tasks):
+        raise ValueError("expired_tasks mismatch between replay and report")
+    return replayed

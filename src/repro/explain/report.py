@@ -1,0 +1,199 @@
+"""Human-readable run reports joining events, traces and metrics.
+
+:func:`run_report_text` renders a terminal report from an events dump and
+(optionally) the matching trace / metrics dumps produced by the same run;
+:func:`run_report_html` renders the same content as a dependency-free
+static HTML page.  Both are pure functions over the JSONL record lists, so
+they work on files from any machine — no live journal needed.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.explain.query import ExplainIndex
+from repro.obs.events import REASONS
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    """A plain monospace table (no external dependencies)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return out
+
+
+def _batch_rows(index: ExplainIndex) -> List[List[Any]]:
+    rows: List[List[Any]] = []
+    opens = {e["batch"]: e for e in index.events if e["type"] == "batch_open"}
+    closes = {e["batch"]: e for e in index.events if e["type"] == "batch_close"}
+    for batch in index.batches():
+        opened, closed = opens[batch], closes.get(batch, {})
+        funnel = index.funnel(batch)
+        rows.append(
+            [
+                batch,
+                opened["t"],
+                opened["workers"],
+                opened["tasks"],
+                funnel["pairs"],
+                funnel["feasible"] if funnel["feasible"] is not None else "-",
+                funnel["matched"],
+                closed.get("score", "-"),
+            ]
+        )
+    return rows
+
+
+_BATCH_HEADERS = (
+    "batch", "t", "workers", "tasks", "pairs", "feasible", "matched", "score"
+)
+
+
+def _top_spans(
+    trace_records: Sequence[Dict[str, Any]], limit: int = 10
+) -> List[List[Any]]:
+    """Total duration per span name, widest first."""
+    totals: Dict[str, List[float]] = {}
+    for record in trace_records:
+        if record.get("type") != "span":
+            continue
+        entry = totals.setdefault(record["name"], [0.0, 0])
+        entry[0] += record["duration_ms"]
+        entry[1] += 1
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:limit]
+    return [
+        [name, count, f"{total:.3f}"] for name, (total, count) in ranked
+    ]
+
+
+def _metric_rows(
+    metrics_records: Sequence[Dict[str, Any]], limit: int = 20
+) -> List[List[Any]]:
+    rows: List[List[Any]] = []
+    for record in metrics_records:
+        if record.get("type") == "header":
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in (record.get("labels") or {}).items())
+        if record.get("type") == "histogram":
+            value = f"count={record['count']} sum={_fmt(record['sum'])}"
+        else:
+            value = _fmt(record.get("value"))
+        rows.append([record["name"], labels or "-", record["type"], value])
+    return rows[:limit]
+
+
+def _sections(
+    events: Sequence[Dict[str, Any]],
+    trace_records: Optional[Sequence[Dict[str, Any]]],
+    metrics_records: Optional[Sequence[Dict[str, Any]]],
+    run: int,
+) -> List[Dict[str, Any]]:
+    """The report's content as (title, headers, rows) sections."""
+    index = ExplainIndex(events, run=run)
+    summary = index.summary()
+    close = summary["close"] or {}
+    sections: List[Dict[str, Any]] = [
+        {
+            "title": f"Run: {summary['allocator']}",
+            "headers": ("workers", "tasks", "batches", "score", "assigned", "expired"),
+            "rows": [
+                [
+                    summary["workers"],
+                    summary["tasks"],
+                    len(summary["batches"]),
+                    close.get("score", "-"),
+                    close.get("assigned", "-"),
+                    close.get("expired", "-"),
+                ]
+            ],
+        },
+        {"title": "Batches", "headers": _BATCH_HEADERS, "rows": _batch_rows(index)},
+        {
+            "title": "Rejections by reason",
+            "headers": ("reason", "count"),
+            "rows": [
+                [reason, summary["reject_reasons"].get(reason, 0)]
+                for reason in REASONS
+            ],
+        },
+    ]
+    if trace_records is not None:
+        sections.append(
+            {
+                "title": "Hottest spans",
+                "headers": ("span", "count", "total_ms"),
+                "rows": _top_spans(trace_records),
+            }
+        )
+    if metrics_records is not None:
+        sections.append(
+            {
+                "title": "Metrics",
+                "headers": ("metric", "labels", "kind", "value"),
+                "rows": _metric_rows(metrics_records),
+            }
+        )
+    return sections
+
+
+def run_report_text(
+    events: Sequence[Dict[str, Any]],
+    trace_records: Optional[Sequence[Dict[str, Any]]] = None,
+    metrics_records: Optional[Sequence[Dict[str, Any]]] = None,
+    run: int = 0,
+) -> str:
+    """A terminal-friendly run report (sections of aligned tables)."""
+    lines: List[str] = []
+    for section in _sections(events, trace_records, metrics_records, run):
+        lines.append(f"== {section['title']} ==")
+        lines.extend(_table(section["headers"], section["rows"]))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def run_report_html(
+    events: Sequence[Dict[str, Any]],
+    trace_records: Optional[Sequence[Dict[str, Any]]] = None,
+    metrics_records: Optional[Sequence[Dict[str, Any]]] = None,
+    run: int = 0,
+) -> str:
+    """The same report as a self-contained static HTML page."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'><title>Allocation run report</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em;}",
+        "table{border-collapse:collapse;margin:0 0 1.5em 0;}",
+        "th,td{border:1px solid #999;padding:0.25em 0.6em;text-align:right;}",
+        "th{background:#eee;}td:first-child,th:first-child{text-align:left;}",
+        "</style></head><body>",
+        "<h1>Allocation run report</h1>",
+    ]
+    for section in _sections(events, trace_records, metrics_records, run):
+        parts.append(f"<h2>{html.escape(section['title'])}</h2>")
+        parts.append("<table><tr>")
+        parts.extend(f"<th>{html.escape(str(h))}</th>" for h in section["headers"])
+        parts.append("</tr>")
+        for row in section["rows"]:
+            parts.append(
+                "<tr>"
+                + "".join(f"<td>{html.escape(_fmt(c))}</td>" for c in row)
+                + "</tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

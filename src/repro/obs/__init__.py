@@ -11,14 +11,30 @@ perturbing it:
   :class:`Histogram` (fixed log-scale latency buckets) and labeled
   families.  :data:`REGISTRY` is the process-wide default; the engine's
   per-run counters live in private registries.
-* Exporters — JSONL trace/metrics dumps with schema validation, the
-  Prometheus text exposition format, and the ``--profile`` latency table
-  (:meth:`Tracer.summary`).
+* :class:`EventJournal` — the allocation flight recorder: typed,
+  sequence-numbered events (batch lifecycle, arrivals, reason-coded
+  rejections, game moves, assignments) behind the same zero-cost
+  disabled-mode discipline (:data:`NULL_JOURNAL`).  The
+  :mod:`repro.explain` package queries and replays these journals.
+* Exporters — JSONL trace/metrics/events dumps with schema validation,
+  the Prometheus text exposition format, and the ``--profile`` latency
+  table (:meth:`Tracer.summary`).
 
 Timing is observational only: reports stay bit-identical with tracing on
 or off.
 """
 
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventJournal,
+    NULL_JOURNAL,
+    REASONS,
+    events_records,
+    get_journal,
+    set_journal,
+    validate_events_records,
+    write_events_jsonl,
+)
 from repro.obs.export import (
     METRICS_SCHEMA,
     TRACE_SCHEMA,
@@ -54,15 +70,21 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "EVENTS_SCHEMA",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_TRACER",
+    "REASONS",
     "REGISTRY",
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
+    "events_records",
+    "get_journal",
     "get_registry",
     "get_tracer",
     "import_spans",
@@ -70,11 +92,14 @@ __all__ = [
     "metrics_records",
     "prometheus_text",
     "read_jsonl",
+    "set_journal",
     "set_tracer",
     "span_payload",
     "span_records",
+    "validate_events_records",
     "validate_metrics_records",
     "validate_trace_records",
+    "write_events_jsonl",
     "write_metrics_jsonl",
     "write_trace_jsonl",
 ]

@@ -83,6 +83,8 @@ def validate_trace_records(records: Sequence[Dict[str, Any]]) -> None:
         parent = record.get("parent")
         if parent is not None and not isinstance(parent, int):
             raise ValueError(f"span parent must be an id or null: {record!r}")
+        if record["id"] in ids:
+            raise ValueError(f"duplicate span id {record['id']}: {record!r}")
         ids.add(record["id"])
     for record in records[1:]:
         # Children finish before parents, so a non-null parent id must refer
@@ -232,8 +234,27 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 # -- Prometheus text exposition -------------------------------------------------------
 
 
+def _escape_label_value(value: Any) -> str:
+    # Exposition format: label values escape backslash, double-quote and
+    # newline (in that order, so escapes are not themselves re-escaped).
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    # HELP text escapes only backslash and newline (quotes stay literal).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: Dict[str, str], extra: Iterable[str] = ()) -> str:
-    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    parts = [
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    ]
     parts.extend(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
 
@@ -247,7 +268,7 @@ def prometheus_text(*registries: MetricsRegistry) -> str:
             if metric.name not in seen_headers:
                 seen_headers.add(metric.name)
                 if metric.help:
-                    lines.append(f"# HELP {metric.name} {metric.help}")
+                    lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
                 lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for bound, count in metric.bucket_counts():

@@ -21,7 +21,9 @@ from repro.algorithms.base import AllocationOutcome, BatchAllocator
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance
 from repro.core.worker import Worker
+from repro.engine.context import BatchContext
 from repro.engine.engine import AllocationEngine
+from repro.obs.events import EventJournal, get_journal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, get_tracer
 from repro.simulation.events import Event, EventKind, EventLog
@@ -84,10 +86,17 @@ class Platform:
             follows the process default
             (:func:`repro.columnar.default_columnar`); reports and
             ``engine_stats`` are bit-identical either way.
+        journal: structured event journal (the allocation flight recorder)
+            receiving the run/batch lifecycle, worker arrivals/departures,
+            task submissions/expiries, reason-coded feasibility rejections
+            and assignment commits.  None uses the process default
+            (:func:`repro.obs.events.get_journal`), a no-op unless
+            installed.
 
     The simulation is deterministic given a deterministic allocator; the
-    tracer and metrics record timings only and never feed back into the
-    report, so runs are bit-identical with profiling on or off.
+    tracer, metrics and journal record observations only and never feed
+    back into the report, so runs are bit-identical with profiling or
+    journaling on or off.
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class Platform:
         n_jobs: int = 1,
         parallel_threshold: Optional[int] = None,
         use_columnar: Optional[bool] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
@@ -117,6 +127,7 @@ class Platform:
         self.n_jobs = n_jobs
         self.parallel_threshold = parallel_threshold
         self.use_columnar = use_columnar
+        self.journal = journal
         self._metrics_registry: Optional[MetricsRegistry] = metrics
 
     @property
@@ -133,8 +144,31 @@ class Platform:
         """Simulate the whole horizon and return the aggregate report."""
         instance = self.instance
         report = SimulationReport(allocator=self.allocator.name)
+        journal = self.journal if self.journal is not None else get_journal()
         if not instance.workers or not instance.tasks:
             report.expired_tasks = sorted(t.id for t in instance.tasks)
+            if journal.enabled:
+                # Degenerate run: no batch ever fires, every task expires.
+                journal.emit(
+                    "run_open",
+                    allocator=self.allocator.name,
+                    batch_interval=self.batch_interval,
+                    start=0.0,
+                    horizon=0.0,
+                    workers=len(instance.workers),
+                    tasks=len(instance.tasks),
+                )
+                for tid in report.expired_tasks:
+                    journal.emit(
+                        "task_expire", t=instance.task(tid).deadline, task=tid
+                    )
+                journal.emit(
+                    "run_close",
+                    score=0,
+                    batches=0,
+                    assigned=0,
+                    expired=len(report.expired_tasks),
+                )
             return report
 
         tracer = self.tracer if self.tracer is not None else get_tracer()
@@ -152,6 +186,7 @@ class Platform:
                 n_jobs=self.n_jobs,
                 parallel_threshold=self.parallel_threshold,
                 use_columnar=self.use_columnar,
+                journal=journal,
             )
             if self.use_engine
             else None
@@ -172,6 +207,18 @@ class Platform:
         start = instance.earliest_start
         horizon = instance.horizon
         batches = max(1, math.ceil((horizon - start) / self.batch_interval))
+        if journal.enabled:
+            journal.emit(
+                "run_open",
+                allocator=self.allocator.name,
+                batch_interval=self.batch_interval,
+                start=start,
+                horizon=horizon,
+                workers=len(instance.workers),
+                tasks=len(instance.tasks),
+            )
+            prev_worker_ids: Set[int] = set()
+            prev_task_ids: Set[int] = set()
         for index in range(batches + 1):
             now = min(start + index * self.batch_interval, horizon)
             with tracer.span("platform.batch") as batch_span:
@@ -183,6 +230,24 @@ class Platform:
                         for tid in open_task_ids
                         if instance.task(tid).active_at(now)
                     ]
+                if journal.enabled:
+                    journal.set_batch(index)
+                    journal.emit(
+                        "batch_open", t=now, workers=len(workers), tasks=len(tasks)
+                    )
+                    # Population churn relative to the previous snapshot: an
+                    # assigned worker departs and (with a rejoin policy)
+                    # arrives again later as a relocated record.
+                    cur_worker_ids = {w.id for w in workers}
+                    cur_task_ids = {t.id for t in tasks}
+                    for wid in sorted(cur_worker_ids - prev_worker_ids):
+                        journal.emit("worker_arrive", t=now, worker=wid)
+                    for wid in sorted(prev_worker_ids - cur_worker_ids):
+                        journal.emit("worker_depart", t=now, worker=wid)
+                    for tid in sorted(cur_task_ids - prev_task_ids):
+                        journal.emit("task_submit", t=now, task=tid)
+                    prev_worker_ids = cur_worker_ids
+                    prev_task_ids = cur_task_ids
                 if workers and tasks:
                     if engine is not None:
                         with tracer.span("platform.feasibility"):
@@ -193,13 +258,20 @@ class Platform:
                             outcome = self.allocator.allocate(context)
                     else:
                         with tracer.span("platform.match"):
-                            outcome = self.allocator.allocate(
-                                workers, tasks, instance, now, frozenset(assigned_tasks)
+                            # The explicit standalone context (rather than
+                            # the 5-arg shim) threads this run's journal and
+                            # tracer into the legacy rebuild path; the
+                            # allocation itself is unchanged.
+                            context = BatchContext.standalone(
+                                workers, tasks, instance, now,
+                                frozenset(assigned_tasks),
+                                tracer=tracer, journal=journal,
                             )
+                            outcome = self.allocator.allocate(context)
                     with tracer.span("platform.commit"):
                         self._execute(
                             outcome, pool, busy, assigned_tasks, open_task_ids, now,
-                            report, batch_index=index,
+                            report, batch_index=index, journal=journal,
                         )
                     record = BatchRecord(
                         index=index,
@@ -218,8 +290,9 @@ class Platform:
                 still_open = {
                     tid for tid in open_task_ids if instance.task(tid).deadline > now
                 }
+                expired_now = open_task_ids - still_open
                 if self.event_log is not None:
-                    for tid in open_task_ids - still_open:
+                    for tid in expired_now:
                         self.event_log.record(
                             Event(
                                 time=instance.task(tid).deadline,
@@ -228,6 +301,12 @@ class Platform:
                                 batch_index=index,
                             )
                         )
+                if journal.enabled:
+                    for tid in sorted(expired_now):
+                        journal.emit(
+                            "task_expire", t=instance.task(tid).deadline, task=tid
+                        )
+                    journal.emit("batch_close", t=now, score=record.score)
                 open_task_ids = still_open
                 if tracer.enabled:
                     batch_span.set("index", index)
@@ -251,6 +330,20 @@ class Platform:
         )
         if engine is not None:
             report.engine_stats = engine.stats()
+        if journal.enabled:
+            journal.set_batch(None)
+            # Whatever is still open at the horizon expires unassigned; the
+            # union of per-batch and end-of-run expiries is exactly
+            # ``report.expired_tasks``.
+            for tid in sorted(open_task_ids):
+                journal.emit("task_expire", t=instance.task(tid).deadline, task=tid)
+            journal.emit(
+                "run_close",
+                score=report.total_score,
+                batches=report.num_batches,
+                assigned=len(report.assignments),
+                expired=len(report.expired_tasks),
+            )
         return report
 
     # -- internals --------------------------------------------------------------------
@@ -290,6 +383,7 @@ class Platform:
         now: float,
         report: SimulationReport,
         batch_index: Optional[int] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         instance = self.instance
         for worker_id, task_id in outcome.assignment.pairs():
@@ -313,6 +407,9 @@ class Platform:
                 self.event_log.record(
                     Event(finish, EventKind.COMPLETE, task_id, worker_id, batch_index)
                 )
+            if journal is not None and journal.enabled:
+                journal.emit("assign", t=now, worker=worker_id, task=task_id)
+                journal.emit("complete", t=finish, worker=worker_id, task=task_id)
 
 
 def run_single_batch(

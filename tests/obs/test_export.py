@@ -78,6 +78,23 @@ class TestTraceJsonl:
         with pytest.raises(ValueError, match="negative"):
             validate_trace_records(records)
 
+    def test_validator_rejects_duplicate_span_id(self):
+        span = {"type": "span", "id": 1, "parent": None, "name": "x",
+                "start_s": 0.0, "duration_ms": 1.0}
+        records = [{"type": "header", "schema": TRACE_SCHEMA}, span, dict(span)]
+        with pytest.raises(ValueError, match="duplicate span id"):
+            validate_trace_records(records)
+
+    def test_validator_accepts_distinct_span_ids(self):
+        records = [
+            {"type": "header", "schema": TRACE_SCHEMA},
+            {"type": "span", "id": 1, "parent": None, "name": "x",
+             "start_s": 0.0, "duration_ms": 1.0},
+            {"type": "span", "id": 2, "parent": 1, "name": "y",
+             "start_s": 0.0, "duration_ms": 0.5},
+        ]
+        validate_trace_records(records)  # must not raise
+
 
 class TestMetricsJsonl:
     def test_round_trip_validates(self, tmp_path):
@@ -129,3 +146,22 @@ class TestPrometheusText:
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_sum 0.5" in text
         assert "lat_count 1" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        family = reg.counter("odd", labels=("name",))
+        family.labels(name='a"b\\c\nd').inc()
+        text = prometheus_text(reg)
+        # Exposition format: backslash, double-quote and newline must be
+        # escaped inside a label value, in that order of substitution.
+        assert 'odd{name="a\\"b\\\\c\\nd"} 1.0' in text
+        assert "\nd" not in text.split("odd{", 1)[1].split("}", 1)[0]
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("h", "line one\nline two \\ slash").inc()
+        text = prometheus_text(reg)
+        assert "# HELP h line one\\nline two \\\\ slash" in text
+        # The HELP line stays a single physical line.
+        help_line = next(l for l in text.splitlines() if l.startswith("# HELP h"))
+        assert "line two" in help_line

@@ -1,0 +1,196 @@
+"""Events-equivalence acceptance: the flight recorder never changes a run.
+
+Mirrors ``test_platform_tracing.py``: with the journal on, every approach's
+``SimulationReport`` — assignments, completion times, per-batch records and
+the ``engine_stats`` keys *and values* — must be bit-identical to the
+journal-off run, on both the columnar and scalar feasibility paths.  The
+recorded stream itself must pass the schema validator and tell a coherent
+story (funnel conservation, assignment/expiry completeness).
+"""
+
+import pytest
+
+from repro.algorithms.registry import APPROACH_NAMES, make_allocator
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventJournal,
+    events_records,
+    validate_events_records,
+)
+from repro.simulation.platform import Platform
+
+
+def _run(instance, name, *, journal=None, use_engine=True, use_columnar=None):
+    return Platform(
+        instance,
+        make_allocator(name, seed=11),
+        batch_interval=5.0,
+        use_engine=use_engine,
+        use_columnar=use_columnar,
+        journal=journal,
+    ).run()
+
+
+def _assert_identical(a, b):
+    assert a.allocator == b.allocator
+    assert a.assignments == b.assignments
+    assert a.completion_times == b.completion_times
+    assert a.expired_tasks == b.expired_tasks
+    assert [
+        (r.index, r.time, r.available_workers, r.open_tasks, r.score)
+        for r in a.batches
+    ] == [
+        (r.index, r.time, r.available_workers, r.open_tasks, r.score)
+        for r in b.batches
+    ]
+    assert a.engine_stats == b.engine_stats
+    assert list(a.engine_stats) == list(b.engine_stats)  # key order too
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_synthetic(SyntheticConfig(seed=5).scaled(0.05))
+
+
+class TestReportsBitIdentical:
+    @pytest.mark.parametrize("name", APPROACH_NAMES)
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_journaled_equals_plain(self, instance, name, columnar):
+        journal = EventJournal()
+        recorded = _run(instance, name, journal=journal, use_columnar=columnar)
+        plain = _run(instance, name, use_columnar=columnar)
+        _assert_identical(recorded, plain)
+        records = [{"type": "header", "schema": EVENTS_SCHEMA}]
+        records += events_records(journal)
+        validate_events_records(records)
+
+    def test_journaled_equals_plain_legacy_path(self, instance):
+        journal = EventJournal()
+        recorded = _run(instance, "Greedy", journal=journal, use_engine=False)
+        plain = _run(instance, "Greedy", use_engine=False)
+        _assert_identical(recorded, plain)
+        assert recorded.engine_stats == {}
+        # The legacy path journals through the standalone checker.
+        modes = {e["mode"] for e in journal.of_type("feas_build")}
+        assert modes <= {"checker"}
+        assert journal.of_type("assign")
+
+    def test_disabled_journal_stays_empty(self, instance):
+        journal = EventJournal(enabled=False)
+        _run(instance, "Greedy", journal=journal)
+        assert len(journal) == 0
+
+
+class TestStreamCoherence:
+    @pytest.fixture(scope="class")
+    def journal_and_report(self, instance):
+        journal = EventJournal()
+        report = _run(instance, "Game", journal=journal)
+        return journal, report
+
+    def test_run_frame(self, journal_and_report):
+        journal, report = journal_and_report
+        opens = journal.of_type("run_open")
+        closes = journal.of_type("run_close")
+        assert len(opens) == len(closes) == 1
+        assert journal.events[0] is opens[0]
+        assert journal.events[-1] is closes[0]
+        assert opens[0]["allocator"] == report.allocator
+        assert closes[0]["score"] == report.total_score
+        assert closes[0]["batches"] == report.num_batches
+        assert closes[0]["assigned"] == len(report.assignments)
+        assert closes[0]["expired"] == len(report.expired_tasks)
+
+    def test_batches_frame_the_run(self, journal_and_report):
+        journal, report = journal_and_report
+        opens = journal.of_type("batch_open")
+        closes = journal.of_type("batch_close")
+        assert [e["batch"] for e in opens] == [b.index for b in report.batches]
+        assert [e["score"] for e in closes] == [b.score for b in report.batches]
+        assert [e["workers"] for e in opens] == [
+            b.available_workers for b in report.batches
+        ]
+
+    def test_assignments_and_expiries_are_complete(self, journal_and_report):
+        journal, report = journal_and_report
+        assigns = {e["task"]: e["worker"] for e in journal.of_type("assign")}
+        assert assigns == report.assignments
+        completes = {e["task"]: e["t"] for e in journal.of_type("complete")}
+        assert completes == report.completion_times
+        expired = sorted(e["task"] for e in journal.of_type("task_expire"))
+        assert expired == sorted(report.expired_tasks)
+
+    def test_every_pair_decided_once_per_build(self, journal_and_report):
+        journal, _ = journal_and_report
+        # Full-build batches: fresh decisions partition the candidate pairs.
+        builds = {
+            e["batch"]: e
+            for e in journal.of_type("feas_build")
+            if e["mode"] == "full"
+        }
+        views = {e.get("batch"): e for e in journal.of_type("feas_view")}
+        fresh_rejects = {}
+        for event in journal.of_type("reject"):
+            if event["phase"] in ("build", "prune"):
+                key = event.get("batch")
+                fresh_rejects[key] = fresh_rejects.get(key, 0) + 1
+        for batch, build in builds.items():
+            assert build["pairs"] == fresh_rejects.get(batch, 0) + views[batch]["links"]
+
+    def test_game_rounds_present(self, journal_and_report):
+        journal, _ = journal_and_report
+        rounds = journal.of_type("game_round")
+        assert rounds
+        for event in rounds:
+            assert event["evaluated"] >= event["changed"] >= 0
+            assert event["skipped"] >= 0
+
+    @pytest.mark.parametrize("use_index", [False, True])
+    def test_reject_reasons_match_oracle(self, instance, use_index):
+        """Every journaled rejection is confirmed infeasible by pair_feasible.
+
+        Runs the standalone checker (pristine worker records — the platform
+        relocates workers after assignments, so its snapshots differ from
+        ``instance.workers``) and re-checks each per-pair verdict.
+        """
+        from repro.core.constraints import FeasibilityChecker, pair_feasible
+
+        journal = EventJournal()
+        now = 40.0
+        workers = [w for w in instance.workers if w.active_at(now)]
+        tasks = [t for t in instance.tasks if t.active_at(now)]
+        checker = FeasibilityChecker(
+            workers, tasks, metric=instance.metric, now=now,
+            use_index=use_index, journal=journal,
+        )
+        worker_by_id = {w.id: w for w in workers}
+        task_by_id = {t.id: t for t in tasks}
+        checked = 0
+        for event in journal.of_type("reject"):
+            if event["phase"] == "prune":
+                continue  # pruned pairs carry a lower-bound reason only
+            assert not pair_feasible(
+                worker_by_id[event["worker"]], task_by_id[event["task"]],
+                metric=instance.metric, now=now,
+            ), event
+            checked += 1
+        assert checked > 100
+        # Funnel conservation: every pair is decided exactly once.
+        build = journal.of_type("feas_build")[0]
+        rejects = len(journal.of_type("reject"))
+        assert build["pairs"] == len(workers) * len(tasks)
+        assert build["pairs"] == rejects + checker.pair_count()
+
+
+class TestGreedyEvents:
+    def test_match_set_events(self, instance):
+        journal = EventJournal()
+        report = _run(instance, "Greedy", journal=journal)
+        sets = journal.of_type("match_set")
+        assert sets
+        staffed = [e for e in sets if e["staffed"]]
+        # Greedy commits one task set per staffed matching.
+        assert len(staffed) > 0
+        assert all(e["size"] >= 1 for e in sets)
+        assert len(report.assignments) >= len(staffed)

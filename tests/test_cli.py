@@ -155,3 +155,107 @@ class TestColumnarFlags:
             assert default_columnar() is False
         finally:
             set_default_columnar(initial)
+
+
+class TestFlightRecorder:
+    def _instance(self, tmp_path):
+        path = tmp_path / "inst.json"
+        main(["generate", "synthetic", "--out", str(path),
+              "--workers", "25", "--tasks", "30", "--seed", "3"])
+        return str(path)
+
+    def test_solve_events_out_and_replay_check(self, tmp_path, capsys):
+        from repro.obs import read_jsonl, validate_events_records
+
+        inst = self._instance(tmp_path)
+        events = tmp_path / "ev.jsonl"
+        assert main(["solve", inst, "--approach", "Greedy",
+                     "--batch-interval", "5", "--events-out", str(events),
+                     "--replay-check"]) == 0
+        out = capsys.readouterr().out
+        assert "replay check: OK" in out
+        assert "events ->" in out
+        records = read_jsonl(str(events))
+        validate_events_records(records)
+        assert records[1]["type"] == "run_open"
+
+    def test_replay_check_requires_platform_mode(self, tmp_path, capsys):
+        inst = self._instance(tmp_path)
+        assert main(["solve", inst, "--replay-check"]) == 2
+        assert "--batch-interval" in capsys.readouterr().out
+
+    def test_single_batch_events_out(self, tmp_path):
+        from repro.obs import read_jsonl, validate_events_records
+
+        inst = self._instance(tmp_path)
+        events = tmp_path / "ev.jsonl"
+        assert main(["solve", inst, "--approach", "Greedy",
+                     "--events-out", str(events)]) == 0
+        records = read_jsonl(str(events))
+        validate_events_records(records)
+        assert any(r.get("type") == "feas_build" for r in records)
+
+    def test_explain_summary_and_queries(self, tmp_path, capsys):
+        inst = self._instance(tmp_path)
+        events = tmp_path / "ev.jsonl"
+        main(["solve", inst, "--approach", "Greedy", "--batch-interval", "5",
+              "--events-out", str(events)])
+        capsys.readouterr()
+        assert main(["explain", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "Greedy" in out and "events:" in out
+        assert main(["explain", str(events), "--why-not", "0", "0",
+                     "--funnel", "1", "--replay"]) == 0
+        out = capsys.readouterr().out
+        assert "worker 0 / task 0" in out or "WAS assigned" in out
+        assert "funnel" in out and "replayed:" in out
+
+    def test_report_text_and_html(self, tmp_path, capsys):
+        inst = self._instance(tmp_path)
+        events = tmp_path / "ev.jsonl"
+        trace = tmp_path / "tr.jsonl"
+        metrics = tmp_path / "me.jsonl"
+        main(["solve", inst, "--approach", "Greedy", "--batch-interval", "5",
+              "--events-out", str(events), "--trace-out", str(trace),
+              "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["report", "--events", str(events), "--trace", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Run: Greedy" in out and "Hottest spans" in out and "Metrics" in out
+        html_path = tmp_path / "rep.html"
+        assert main(["report", "--events", str(events),
+                     "--html", str(html_path)]) == 0
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_generate_and_lint_obs_flags(self, tmp_path, capsys):
+        from repro.obs import read_jsonl, validate_trace_records
+
+        path = tmp_path / "inst.json"
+        trace = tmp_path / "gen.jsonl"
+        assert main(["generate", "synthetic", "--out", str(path),
+                     "--workers", "15", "--tasks", "20", "--seed", "3",
+                     "--profile", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase latency" in out and "generate.build" in out
+        validate_trace_records(read_jsonl(str(trace)))
+        lint_trace = tmp_path / "lint.jsonl"
+        main(["lint", str(path), "--profile", "--trace-out", str(lint_trace)])
+        out = capsys.readouterr().out
+        assert "lint.check" in out
+        validate_trace_records(read_jsonl(str(lint_trace)))
+
+    def test_run_events_out(self, tmp_path, capsys):
+        from repro.explain import split_runs
+        from repro.obs import read_jsonl, validate_events_records
+
+        events = tmp_path / "run_ev.jsonl"
+        assert main(["run", "table6", "--scale", "0.3", "--seed", "3",
+                     "--events-out", str(events)]) == 0
+        records = read_jsonl(str(events))
+        validate_events_records(records)
+        # table6 is a single-batch experiment: its events come from the
+        # standalone checker (no platform run_open), so split_runs finds no
+        # replayable runs but the journal itself is complete and valid.
+        assert any(r.get("type") == "feas_build" for r in records)
+        assert split_runs(records) == []
