@@ -102,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after a platform run, replay the event journal back into a "
         "report and assert bit-identity (implies event recording)",
     )
+    _add_shard_arguments(solve)
     _add_roadnet_arguments(solve)
     _add_columnar_arguments(solve)
     _add_obs_arguments(solve)
@@ -146,6 +147,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.shard import MODES as SHARD_MODES, SCHEMES as SHARD_SCHEMES
+
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the plane into N spatial shards, each with its own "
+        "incremental engine (platform runs only; 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--shard-scheme",
+        choices=SHARD_SCHEMES,
+        default="grid",
+        help="how to cut the plane: a uniform grid of the bounding box, or "
+        "a density-balanced KD split of the population (default: grid)",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=SHARD_MODES,
+        default="exact",
+        help="'exact' merges per-shard feasibility into one batch view "
+        "(bit-identical reports); 'partitioned' runs the allocator per "
+        "shard and reconciles border workers (default: exact)",
+    )
 
 
 def _add_roadnet_arguments(parser: argparse.ArgumentParser) -> None:
@@ -388,6 +417,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     tracer = _obs_tracer(args)
     journal = _obs_journal(args)
     metrics_registry = None
+    if args.shards > 1 and not args.batch_interval:
+        print("error: --shards needs a platform run (--batch-interval)")
+        return 2
+    if args.shards > 1 and args.no_engine:
+        print("error: --shards needs the engine path (drop --no-engine)")
+        return 2
     if args.batch_interval:
         platform = Platform(
             instance,
@@ -398,6 +433,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             n_jobs=args.jobs,
             parallel_threshold=args.parallel_threshold,
             journal=journal,
+            shards=args.shards,
+            shard_scheme=args.shard_scheme,
+            shard_mode=args.shard_mode,
         )
         report = platform.run()
         metrics_registry = platform.metrics_registry

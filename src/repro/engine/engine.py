@@ -57,6 +57,16 @@ from repro.parallel.pool import resolve_jobs
 from repro.spatial.cache import CachedMetric
 from repro.spatial.index import GridIndex
 
+#: Minimum pair-block size before an incremental sync routes through the
+#: columnar kernels.  Small sync blocks lose twice over: the numpy batch
+#: set-up is a fixed per-call cost, and the scalar loops they replace hit
+#: the distance cache on repeat pairs while the kernels always recompute.
+#: The floor sits at full-build scale — where the kernels are measured to
+#: win — so syncs only vectorise on genuinely bulk waves (mass rejoin,
+#: arrival bursts).  The fallback is bit-identical; only the auxiliary
+#: path counters reveal which side ran.
+COLUMNAR_SYNC_MIN_PAIRS = 4096
+
 
 class AllocationEngine:
     """Incremental feasibility + distance caching for a platform run.
@@ -428,15 +438,27 @@ class AllocationEngine:
             self._remove_worker(wid)
         changed = [w for w in workers if self._workers.get(w.id) != w]
         changed_ids = {w.id for w in changed}
-        added = 0
-        for task in tasks:
-            if task.id not in self._tasks:
+        added_tasks = [task for task in tasks if task.id not in self._tasks]
+        use_kernels = bool(
+            self._columnar_code is not None and added_tasks and self._workers
+        )
+        if use_kernels:
+            arrival_pairs = len(added_tasks) * sum(
+                1 for wid in self._workers if wid not in changed_ids
+            )
+            use_kernels = arrival_pairs >= COLUMNAR_SYNC_MIN_PAIRS
+        if use_kernels:
+            self._columnar_add_tasks(added_tasks, changed_ids, now)
+        else:
+            for task in added_tasks:
                 self._add_task(task, changed_ids, now)
-                added += 1
-        self.counters.tasks_added += added
+        self.counters.tasks_added += len(added_tasks)
         latest = self._latest_deadline()
-        for worker in changed:
-            self._recompute_row(worker, latest, now)
+        if self._columnar_code is not None and changed:
+            self._columnar_recompute_rows(changed, latest, now)
+        else:
+            for worker in changed:
+                self._recompute_row(worker, latest, now)
 
     def _add_task(
         self, task: Task, skip_workers: AbstractSet[int], now: float
@@ -515,6 +537,129 @@ class AllocationEngine:
         self.counters.scalar_pair_evals += len(candidates)
         for task_id in candidates:
             self._link_check(worker, self._tasks[task_id], now)
+
+    def _columnar_recompute_rows(
+        self, changed: Sequence[Worker], latest_deadline: float, now: float
+    ) -> None:
+        """Incremental row recompute through the columnar kernels.
+
+        The dirty workers' candidate rows are gathered exactly as in
+        :meth:`_recompute_row` (same index probes, same pruning counters)
+        and decided in one kernel sweep; the cache then replays the scalar
+        path's metric-access sequence — worker by worker, candidates in row
+        order, skill filter applied — with the kernel's distances, so the
+        graph, ``engine_stats`` and the cache trajectory are bit-identical
+        to the scalar loop.  Only the auxiliary columnar counters record
+        which path ran.
+        """
+        code = self._columnar_code
+        rows: List[List[int]] = []
+        for worker in changed:
+            self._install_row(worker)
+            rows.append(self._candidates_for(worker, latest_deadline, now))
+        total = sum(len(candidates) for candidates in rows)
+        if total < COLUMNAR_SYNC_MIN_PAIRS:
+            # Too small to amortise the numpy batch set-up: finish the rows
+            # exactly as _recompute_row would.
+            self.counters.scalar_pair_evals += total
+            for worker, candidates in zip(changed, rows):
+                for task_id in candidates:
+                    self._link_check(worker, self._tasks[task_id], now)
+            return
+        tasks = list(self._tasks.values())
+        if not tasks:
+            return
+        tpos = {task.id: pos for pos, task in enumerate(tasks)}
+        widx: List[int] = []
+        tidx: List[int] = []
+        for pos, candidates in enumerate(rows):
+            widx.extend(pos for _ in candidates)
+            tidx.extend(tpos[tid] for tid in candidates)
+        self.counters.columnar_pairs += len(widx)
+        if not widx:
+            return
+        batch = ColumnarBatch(changed, tasks)
+        mask, skill_mask, dists = feasible_pairs(batch, widx, tidx, now, code)
+        if self.journal.enabled:
+            codes = rejection_reasons(batch, widx, tidx, now, code)
+            for k, verdict in enumerate(codes):
+                if verdict:
+                    self.journal.emit(
+                        "reject",
+                        worker=changed[widx[k]].id,
+                        task=tasks[tidx[k]].id,
+                        reason=REASON_NAMES[verdict],
+                        phase="build",
+                    )
+        keep = true_positions(skill_mask)
+        self.metric.replay(
+            (
+                (changed[widx[k]].location, tasks[tidx[k]].location)
+                for k in keep
+            ),
+            [dists[k] for k in keep],
+        )
+        for k in true_positions(mask):
+            worker = changed[widx[k]]
+            task = tasks[tidx[k]]
+            dist = dists[k]
+            travel = dist / worker.velocity if dist > 0.0 else 0.0
+            self._tasks_of[worker.id][task.id] = (task.start, task.deadline, travel)
+            self._workers_of[task.id].add(worker.id)
+
+    def _columnar_add_tasks(
+        self, added: Sequence[Task], skip_workers: AbstractSet[int], now: float
+    ) -> None:
+        """Link newly-arrived tasks against current workers via the kernels.
+
+        Mirrors the scalar :meth:`_add_task` loop: tasks register in batch
+        order (same dict and grid-bucket orders), every non-skipped engine
+        worker is checked against every new task, and the cache replays the
+        scalar access sequence — task-major, workers in registration order
+        — so stats and cache state stay bit-identical to the scalar path.
+        """
+        for task in added:
+            self._tasks[task.id] = task
+            self._workers_of[task.id] = set()
+            if self._index is not None:
+                self._index.insert(task.id, task.location)
+        workers = [w for w in self._workers.values() if w.id not in skip_workers]
+        checked = len(workers) * len(added)
+        self.counters.pairs_checked += checked
+        self.counters.columnar_pairs += checked
+        if not workers:
+            return
+        code = self._columnar_code
+        batch = ColumnarBatch(workers, added)
+        widx: List[int] = []
+        tidx: List[int] = []
+        for task_pos in range(len(added)):
+            widx.extend(range(len(workers)))
+            tidx.extend(task_pos for _ in workers)
+        mask, skill_mask, dists = feasible_pairs(batch, widx, tidx, now, code)
+        if self.journal.enabled:
+            codes = rejection_reasons(batch, widx, tidx, now, code)
+            for k, verdict in enumerate(codes):
+                if verdict:
+                    self.journal.emit(
+                        "reject",
+                        worker=workers[widx[k]].id,
+                        task=added[tidx[k]].id,
+                        reason=REASON_NAMES[verdict],
+                        phase="build",
+                    )
+        keep = true_positions(skill_mask)
+        self.metric.replay(
+            ((workers[widx[k]].location, added[tidx[k]].location) for k in keep),
+            [dists[k] for k in keep],
+        )
+        for k in true_positions(mask):
+            worker = workers[widx[k]]
+            task = added[tidx[k]]
+            dist = dists[k]
+            travel = dist / worker.velocity if dist > 0.0 else 0.0
+            self._tasks_of[worker.id][task.id] = (task.start, task.deadline, travel)
+            self._workers_of[task.id].add(worker.id)
 
     def _link_check(self, worker: Worker, task: Task, now: float) -> None:
         # Superset test at the batch timestamp: feasibility only shrinks as

@@ -23,7 +23,12 @@ convention across the stack: ``1`` serial, ``N >= 2`` that many workers,
 negative = all available CPUs.
 """
 
-from repro.parallel.feasibility import DEFAULT_PAIR_THRESHOLD, chunk_pairs, evaluate_pairs
+from repro.parallel.feasibility import (
+    DEFAULT_PAIR_THRESHOLD,
+    chunk_bounds,
+    chunk_pairs,
+    evaluate_pairs,
+)
 from repro.parallel.pool import (
     available_cpus,
     get_executor,
@@ -32,19 +37,30 @@ from repro.parallel.pool import (
     shutdown_executors,
 )
 from repro.parallel.seeds import derive_seed, repetition_seeds
+from repro.parallel.shm import (
+    attach_columns,
+    export_columns,
+    handoff_bytes_saved,
+    shm_available,
+)
 from repro.parallel.sweep import evaluate_approaches_parallel, sweep_cells
 
 __all__ = [
     "DEFAULT_PAIR_THRESHOLD",
+    "attach_columns",
     "available_cpus",
+    "chunk_bounds",
     "chunk_pairs",
     "derive_seed",
     "evaluate_approaches_parallel",
     "evaluate_pairs",
+    "export_columns",
     "get_executor",
+    "handoff_bytes_saved",
     "ordered_map",
     "repetition_seeds",
     "resolve_jobs",
+    "shm_available",
     "shutdown_executors",
     "sweep_cells",
 ]

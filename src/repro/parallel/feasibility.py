@@ -24,6 +24,12 @@ from repro.columnar.kernels import CODES as COLUMNAR_CODES
 from repro.columnar.kernels import pair_distances
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.pool import ordered_map, resolve_jobs
+from repro.parallel.shm import (
+    ColumnHandle,
+    attach_columns,
+    export_columns,
+    shm_available,
+)
 from repro.spatial.distance import DistanceMetric, Point
 
 _Pair = Tuple[Point, Point]
@@ -60,6 +66,28 @@ def _eval_columnar_chunk(
 ) -> array:
     code, ax, ay, bx, by = job
     return pair_distances(code, ax, ay, bx, by)
+
+
+def _eval_shm_chunk(job: Tuple[str, ColumnHandle, int, int]) -> array:
+    """Worker side of the shared-memory handoff: attach, slice, evaluate."""
+    code, handle, start, end = job
+    ax, ay, bx, by = attach_columns(handle, start, end)
+    return pair_distances(code, ax, ay, bx, by)
+
+
+def chunk_bounds(total: int, chunks: int) -> List[Tuple[int, int]]:
+    """The ``(start, end)`` ranges :func:`chunk_pairs` would slice at."""
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    size, extra = divmod(total, chunks)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            out.append((start, end))
+        start = end
+    return out
 
 
 def _chunk_columns(
@@ -121,17 +149,45 @@ def evaluate_pairs(
         return out
     columnar_code = getattr(metric, "columnar_code", None)
     if columnar_code in COLUMNAR_CODES:
-        with tracer.span("parallel.columnar_fanout") as span:
-            column_chunks = _chunk_columns(pack_pair_columns(pairs), max(workers, 1))
-            columns = ordered_map(
-                _eval_columnar_chunk,
-                [(columnar_code,) + chunk for chunk in column_chunks],
-                workers,
-            )
-            if tracer.enabled:
-                span.set("pairs", len(pairs))
-                span.set("chunks", len(column_chunks))
-                span.set("n_jobs", workers)
+        packed = pack_pair_columns(pairs)
+        block = None
+        if workers > 1 and shm_available():
+            # Pickle-free handoff: the four coordinate columns go to the
+            # segment once; each chunk's job is just (code, handle, range).
+            # Values are bit-identical to the pickled path — same bytes,
+            # same kernel — so an allocation failure simply falls through.
+            try:
+                block = export_columns(packed)
+            except (OSError, RuntimeError):
+                block = None
+        if block is not None:
+            try:
+                with tracer.span("parallel.shm_fanout") as span:
+                    bounds = chunk_bounds(len(pairs), workers)
+                    columns = ordered_map(
+                        _eval_shm_chunk,
+                        [(columnar_code, block.handle, s, e) for s, e in bounds],
+                        workers,
+                    )
+                    if tracer.enabled:
+                        span.set("pairs", len(pairs))
+                        span.set("chunks", len(bounds))
+                        span.set("n_jobs", workers)
+                        span.set("shm_bytes", block.nbytes)
+            finally:
+                block.unlink()
+        else:
+            with tracer.span("parallel.columnar_fanout") as span:
+                column_chunks = _chunk_columns(packed, max(workers, 1))
+                columns = ordered_map(
+                    _eval_columnar_chunk,
+                    [(columnar_code,) + chunk for chunk in column_chunks],
+                    workers,
+                )
+                if tracer.enabled:
+                    span.set("pairs", len(pairs))
+                    span.set("chunks", len(column_chunks))
+                    span.set("n_jobs", workers)
         with tracer.span("parallel.merge"):
             out: Dict[_Pair, float] = {}
             index = 0

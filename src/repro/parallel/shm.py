@@ -1,0 +1,159 @@
+"""Shared-memory handoff of columnar buffers to fork workers.
+
+The columnar fan-out in :func:`repro.parallel.feasibility.evaluate_pairs`
+historically pickled four coordinate columns per chunk through the
+executor's pipe.  The buffers already live in contiguous ``array``
+storage, so for large batches the pickle round-trip is pure overhead: this
+module copies the columns **once** into a POSIX shared-memory segment and
+ships only a tiny picklable :class:`ColumnHandle` (segment name plus a
+per-column ``(typecode, length)`` manifest).  Workers attach the segment,
+rebuild their slice of each column and never see the pipe.
+
+Contract
+--------
+* **Values are bit-identical** to the pickled path: the segment holds the
+  exact buffer bytes (``array`` round-trips doubles losslessly), so the
+  kernels compute on the same floats either way.
+* **The parent owns the segment.**  :func:`export_columns` returns a
+  :class:`SharedColumns` whose :meth:`~SharedColumns.unlink` the caller
+  must invoke (it is safe after workers finished attaching — Linux keeps
+  the mapping alive until every handle closes).
+* **Graceful degradation.**  Platforms without
+  :mod:`multiprocessing.shared_memory` (or with an exhausted ``/dev/shm``)
+  simply report :func:`shm_available` False / raise ``OSError`` from
+  ``export_columns``; callers fall back to the pickled-chunk path, which
+  remains fully supported.
+
+:func:`handoff_bytes_saved` measures the payload reduction (pickled
+columns vs. pickled handle) so benchmarks can record the savings in
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared-memory segments can be created here."""
+    return _shared_memory is not None
+
+
+class ColumnHandle(NamedTuple):
+    """The picklable description of an exported column block.
+
+    ``layout`` holds one ``(typecode, count)`` entry per column, in export
+    order; columns are packed back to back (each ``array`` itemsize aligns
+    the next offset naturally because offsets are computed in bytes from
+    the same manifest on both sides).
+    """
+
+    name: str
+    layout: Tuple[Tuple[str, int], ...]
+
+
+class SharedColumns:
+    """Parent-side ownership of one exported shared-memory column block."""
+
+    def __init__(self, shm, handle: ColumnHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+        self._shm = None
+
+
+def export_columns(columns: Sequence[array]) -> SharedColumns:
+    """Copy ``columns`` into one shared-memory segment.
+
+    Raises ``OSError`` when the platform cannot allocate a segment (the
+    caller falls back to pickled chunks) and ``RuntimeError`` when shared
+    memory is unavailable outright.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    layout = tuple((column.typecode, len(column)) for column in columns)
+    total = sum(column.itemsize * len(column) for column in columns)
+    shm = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    offset = 0
+    for column in columns:
+        raw = column.tobytes()
+        shm.buf[offset : offset + len(raw)] = raw
+        offset += len(raw)
+    return SharedColumns(shm, ColumnHandle(shm.name, layout))
+
+
+def attach_columns(
+    handle: ColumnHandle, start: int = 0, end: Optional[int] = None
+) -> List[array]:
+    """Rebuild (a slice of) every exported column from a handle.
+
+    ``start``/``end`` select the same row range from each column —
+    the worker-side complement of the parent chunking, so only the rows a
+    chunk actually computes on are copied out of the segment.  The segment
+    handle is closed before returning; the parent still owns the unlink.
+    """
+    if _shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = _attach(handle.name)
+    try:
+        columns: List[array] = []
+        offset = 0
+        for typecode, count in handle.layout:
+            column = array(typecode)
+            itemsize = column.itemsize
+            stop = count if end is None else min(end, count)
+            lo = offset + min(start, count) * itemsize
+            hi = offset + stop * itemsize
+            if hi > lo:
+                column.frombytes(bytes(shm.buf[lo:hi]))
+            columns.append(column)
+            offset += count * itemsize
+        return columns
+    finally:
+        shm.close()
+
+
+def _attach(name: str):
+    # Python 3.13+ lets an attaching process opt out of the resource
+    # tracker (the parent owns the unlink); older versions take no keyword.
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return _shared_memory.SharedMemory(name=name)
+
+
+def handoff_bytes_saved(columns: Sequence[array], n_chunks: int) -> int:
+    """Pipe bytes saved by one shm handoff vs. pickling per-chunk slices.
+
+    The pickled path ships every chunk its own column slices (the whole
+    block once, across chunks); the shm path ships ``n_chunks`` copies of
+    the tiny handle.  Measured with real ``pickle.dumps`` sizes so the
+    recorded number tracks protocol overhead honestly.
+    """
+    pickled = len(pickle.dumps(tuple(columns), protocol=pickle.HIGHEST_PROTOCOL))
+    block = export_columns(columns)
+    try:
+        per_chunk = len(pickle.dumps(block.handle, protocol=pickle.HIGHEST_PROTOCOL))
+    finally:
+        block.unlink()
+    return max(0, pickled - per_chunk * max(1, n_chunks))

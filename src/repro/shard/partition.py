@@ -1,0 +1,224 @@
+"""Spatial partitioning of the plane into shard boxes.
+
+A :class:`SpatialPartition` tiles the plane with ``n`` half-open,
+axis-aligned boxes — one per shard — so that **every point belongs to
+exactly one shard** (:meth:`~SpatialPartition.shard_of`) while a worker's
+reachability *disc* may overlap several (:meth:`~SpatialPartition.
+shards_overlapping_disc`); workers whose disc crosses a boundary are the
+*border* set the sharded engine registers in every overlapped shard or
+defers to the reconcile phase.
+
+Two build schemes:
+
+* ``grid`` — a uniform rows x cols split of the population's bounding box
+  (rows x cols is the most-square factorisation of ``n``).  Cheap,
+  oblivious to density.
+* ``kd`` — a density-balanced KD split: recursively halve the *population*
+  (not the area) along the wider-spread axis, so clustered workloads get
+  shards of comparable load.  The split reuses the grid index's bounds
+  machinery — points are bucketed once into a
+  :class:`~repro.spatial.index.GridIndex` and each region gathers its
+  members through :meth:`~repro.spatial.index.GridIndex.keys_in_box`,
+  which clamps the half-plane boxes to the occupied cell bounds.
+
+Every outer edge of the tiling is ±infinity, so points outside the build
+population (a relocated worker, a far task) still land in exactly one
+shard.  Boxes are half-open (``[x0, x1) x [y0, y1)``) so a point exactly
+on a shared edge belongs to the higher box — never to both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.spatial.distance import Point
+from repro.spatial.index import GridIndex
+
+#: ``(min_x, min_y, max_x, max_y)`` — half-open on the max edges.
+Box = Tuple[float, float, float, float]
+
+#: Recognised partition build schemes.
+SCHEMES = ("grid", "kd")
+
+
+class SpatialPartition:
+    """An indexed tiling of the plane into half-open shard boxes.
+
+    The constructor trusts its boxes to tile the plane (the builders below
+    guarantee it; ``tests/properties/test_prop_shard.py`` pins the
+    exactly-one-shard invariant for both schemes).
+    """
+
+    __slots__ = ("boxes", "scheme")
+
+    def __init__(self, boxes: Sequence[Box], scheme: str) -> None:
+        if not boxes:
+            raise ValueError("a partition needs at least one box")
+        self.boxes: Tuple[Box, ...] = tuple(tuple(box) for box in boxes)
+        self.scheme = scheme
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.boxes)
+
+    def shard_of(self, point: Point) -> int:
+        """The unique shard whose half-open box contains ``point``."""
+        x, y = point
+        for sid, (x0, y0, x1, y1) in enumerate(self.boxes):
+            if x0 <= x < x1 and y0 <= y < y1:
+                return sid
+        raise ValueError(f"point {point!r} escapes the tiling (broken partition)")
+
+    def shards_overlapping_disc(self, center: Point, radius: float) -> List[int]:
+        """Every shard whose box is within ``radius`` of ``center``, sorted.
+
+        Distance to the box *closure*, so a disc of radius 0 centred on a
+        shared edge reports both neighbours — registration errs on the
+        inclusive side.  Always contains ``shard_of(center)``.
+        """
+        if radius < 0.0:
+            radius = 0.0
+        x, y = center
+        radius_sq = radius * radius
+        out: List[int] = []
+        for sid, (x0, y0, x1, y1) in enumerate(self.boxes):
+            if x1 < x0 or y1 < y0:
+                continue
+            dx = x0 - x if x < x0 else (x - x1 if x > x1 else 0.0)
+            dy = y0 - y if y < y0 else (y - y1 if y > y1 else 0.0)
+            if dx * dx + dy * dy <= radius_sq:
+                out.append(sid)
+        return out
+
+    def is_border(self, center: Point, radius: float) -> bool:
+        """Whether a reach disc touches more than one shard."""
+        return len(self.shards_overlapping_disc(center, radius)) > 1
+
+    def __repr__(self) -> str:
+        return f"SpatialPartition(n_shards={self.n_shards}, scheme={self.scheme!r})"
+
+
+def _grid_shape(n_shards: int) -> Tuple[int, int]:
+    """The most-square ``(rows, cols)`` factorisation of ``n_shards``."""
+    rows = max(1, int(math.sqrt(n_shards)))
+    while n_shards % rows:
+        rows -= 1
+    return rows, n_shards // rows
+
+
+def grid_partition(points: Sequence[Point], n_shards: int) -> SpatialPartition:
+    """A uniform rows x cols tiling of the population's bounding box."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    rows, cols = _grid_shape(n_shards)
+    if points:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_min, x_span = min(xs), max(xs) - min(xs)
+        y_min, y_span = min(ys), max(ys) - min(ys)
+    else:
+        x_min = y_min = 0.0
+        x_span = y_span = 0.0
+    x_edges = (
+        [-math.inf]
+        + [x_min + x_span * i / cols for i in range(1, cols)]
+        + [math.inf]
+    )
+    y_edges = (
+        [-math.inf]
+        + [y_min + y_span * j / rows for j in range(1, rows)]
+        + [math.inf]
+    )
+    boxes: List[Box] = []
+    for j in range(rows):
+        for i in range(cols):
+            boxes.append((x_edges[i], y_edges[j], x_edges[i + 1], y_edges[j + 1]))
+    return SpatialPartition(boxes, "grid")
+
+
+def _bucket_points(points: Sequence[Point]) -> GridIndex[int]:
+    """Bucket the build population once for the KD region gathers."""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    extent = max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+    cell = extent / max(4.0, min(64.0, math.sqrt(len(points))))
+    index: GridIndex[int] = GridIndex(cell_size=cell)
+    index.insert_many(enumerate(points))
+    return index
+
+
+def _split_value(
+    coords_x: List[float], coords_y: List[float], box: Box, fraction: float
+) -> Tuple[int, float]:
+    """Pick the split axis (wider spread) and the population-balancing cut."""
+    if not coords_x:
+        # Empty region: any interior cut works — every descendant is empty.
+        x0, y0, x1, y1 = box
+        if math.isfinite(x0) and math.isfinite(x1):
+            return 0, (x0 + x1) / 2.0
+        if math.isfinite(x0) or math.isfinite(x1):
+            return 0, x0 if math.isfinite(x0) else x1
+        return 0, 0.0
+    spread_x = coords_x[-1] - coords_x[0]
+    spread_y = coords_y[-1] - coords_y[0]
+    axis = 0 if spread_x >= spread_y else 1
+    coords = coords_x if axis == 0 else coords_y
+    cut_index = min(len(coords) - 1, max(0, round(len(coords) * fraction)))
+    if cut_index > 0:
+        # Halfway between the two populations rather than on a point: for
+        # clustered data the boundary lands in the empty gap, minimising
+        # border workers.
+        return axis, (coords[cut_index - 1] + coords[cut_index]) / 2.0
+    return axis, coords[0]
+
+
+def _kd_boxes(
+    index: GridIndex[int], box: Box, keys: Sequence[int], k: int, out: List[Box]
+) -> None:
+    if k == 1:
+        out.append(box)
+        return
+    k_left = k // 2
+    pts = [index.point_of(key) for key in keys]
+    axis, cut = _split_value(
+        sorted(p[0] for p in pts), sorted(p[1] for p in pts), box, k_left / k
+    )
+    x0, y0, x1, y1 = box
+    if axis == 0:
+        left: Box = (x0, y0, cut, y1)
+        right: Box = (cut, y0, x1, y1)
+    else:
+        left = (x0, y0, x1, cut)
+        right = (x0, cut, x1, y1)
+    _kd_boxes(index, left, index.keys_in_box(left), k_left, out)
+    _kd_boxes(index, right, index.keys_in_box(right), k - k_left, out)
+
+
+def kd_partition(points: Sequence[Point], n_shards: int) -> SpatialPartition:
+    """A density-balanced KD tiling: each split halves the *population*."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    world: Box = (-math.inf, -math.inf, math.inf, math.inf)
+    boxes: List[Box] = []
+    if not points or n_shards == 1:
+        # No density to balance: fall back to the uniform grid shape (a
+        # single all-plane box when n_shards == 1).
+        if not points:
+            return grid_partition(points, n_shards)
+        boxes = [world]
+        return SpatialPartition(boxes, "kd")
+    index = _bucket_points(points)
+    _kd_boxes(index, world, index.keys_in_box(world), n_shards, boxes)
+    return SpatialPartition(boxes, "kd")
+
+
+def make_partition(
+    points: Sequence[Point], n_shards: int, scheme: str = "grid"
+) -> SpatialPartition:
+    """Build a partition of ``n_shards`` boxes over the given population."""
+    if scheme == "grid":
+        return grid_partition(points, n_shards)
+    if scheme == "kd":
+        return kd_partition(points, n_shards)
+    raise ValueError(f"unknown partition scheme {scheme!r} (expected one of {SCHEMES})")

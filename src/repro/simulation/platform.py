@@ -26,6 +26,9 @@ from repro.engine.engine import AllocationEngine
 from repro.obs.events import EventJournal, get_journal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, get_tracer
+from repro.shard.engine import MODES as SHARD_MODES
+from repro.shard.engine import ShardedEngine
+from repro.shard.partition import SCHEMES as SHARD_SCHEMES
 from repro.simulation.events import Event, EventKind, EventLog
 from repro.simulation.stats import BatchRecord, SimulationReport
 
@@ -92,6 +95,16 @@ class Platform:
             and assignment commits.  None uses the process default
             (:func:`repro.obs.events.get_journal`), a no-op unless
             installed.
+        shards: spatial shards for the engine (1 = the plain unsharded
+            engine).  ``shards >= 2`` builds batch contexts through a
+            :class:`~repro.shard.engine.ShardedEngine` — requires
+            ``use_engine`` — whose ``exact`` mode produces bit-identical
+            reports for every allocator.
+        shard_scheme: partition build scheme, ``"grid"`` or ``"kd"``.
+        shard_mode: ``"exact"`` (sharded feasibility, one global allocator
+            run) or ``"partitioned"`` (per-shard allocators plus a border
+            reconcile phase; faster at scale, quality measured rather than
+            pinned — see :mod:`repro.shard.engine`).
 
     The simulation is deterministic given a deterministic allocator; the
     tracer, metrics and journal record observations only and never feed
@@ -113,9 +126,24 @@ class Platform:
         parallel_threshold: Optional[int] = None,
         use_columnar: Optional[bool] = None,
         journal: Optional[EventJournal] = None,
+        shards: int = 1,
+        shard_scheme: str = "grid",
+        shard_mode: str = "exact",
     ) -> None:
         if batch_interval <= 0.0:
             raise ValueError(f"batch interval must be positive, got {batch_interval}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and not use_engine:
+            raise ValueError("shards > 1 requires the engine path (use_engine=True)")
+        if shard_scheme not in SHARD_SCHEMES:
+            raise ValueError(
+                f"unknown shard scheme {shard_scheme!r} (expected one of {SHARD_SCHEMES})"
+            )
+        if shard_mode not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard mode {shard_mode!r} (expected one of {SHARD_MODES})"
+            )
         self.instance = instance
         self.allocator = allocator
         self.batch_interval = batch_interval
@@ -128,7 +156,12 @@ class Platform:
         self.parallel_threshold = parallel_threshold
         self.use_columnar = use_columnar
         self.journal = journal
+        self.shards = shards
+        self.shard_scheme = shard_scheme
+        self.shard_mode = shard_mode
         self._metrics_registry: Optional[MetricsRegistry] = metrics
+        #: The engine of the most recent :meth:`run` (None before / engineless).
+        self.last_engine: Optional[AllocationEngine | ShardedEngine] = None
 
     @property
     def metrics_registry(self) -> Optional[MetricsRegistry]:
@@ -178,21 +211,35 @@ class Platform:
         busy: Dict[int, _BusyWorker] = {}
         assigned_tasks: Set[int] = set()
         open_task_ids = {t.id for t in instance.tasks}
-        engine = (
-            AllocationEngine(
-                instance,
-                tracer=tracer,
-                registry=self.metrics,
-                n_jobs=self.n_jobs,
-                parallel_threshold=self.parallel_threshold,
-                use_columnar=self.use_columnar,
-                journal=journal,
-            )
-            if self.use_engine
-            else None
-        )
+        engine = None
+        if self.use_engine:
+            if self.shards > 1:
+                engine = ShardedEngine(
+                    instance,
+                    self.shards,
+                    scheme=self.shard_scheme,
+                    mode=self.shard_mode,
+                    tracer=tracer,
+                    registry=self.metrics,
+                    n_jobs=self.n_jobs,
+                    parallel_threshold=self.parallel_threshold,
+                    use_columnar=self.use_columnar,
+                    journal=journal,
+                )
+            else:
+                engine = AllocationEngine(
+                    instance,
+                    tracer=tracer,
+                    registry=self.metrics,
+                    n_jobs=self.n_jobs,
+                    parallel_threshold=self.parallel_threshold,
+                    use_columnar=self.use_columnar,
+                    journal=journal,
+                )
         if engine is not None:
             self._metrics_registry = engine.registry
+        # Post-run inspection handle (benchmarks read per-shard counters).
+        self.last_engine = engine
         batch_seconds = (
             self._metrics_registry.histogram(
                 "platform_batch_seconds", "allocator wall-clock seconds per batch"
@@ -249,7 +296,15 @@ class Platform:
                     prev_worker_ids = cur_worker_ids
                     prev_task_ids = cur_task_ids
                 if workers and tasks:
-                    if engine is not None:
+                    if isinstance(engine, ShardedEngine) and engine.mode == "partitioned":
+                        # The two-phase protocol owns its own feasibility
+                        # sync and per-shard allocator runs.
+                        with tracer.span("platform.match"):
+                            outcome = engine.allocate(
+                                self.allocator, workers, tasks, now,
+                                frozenset(assigned_tasks),
+                            )
+                    elif engine is not None:
                         with tracer.span("platform.feasibility"):
                             context = engine.begin_batch(
                                 workers, tasks, now, frozenset(assigned_tasks)

@@ -1,0 +1,162 @@
+"""Shared-memory column handoff: round-trips, slicing, and the shm fan-out.
+
+The contract under test: exporting ``array`` columns to a segment and
+attaching them back is *bit*-identical (same bytes, not just close
+floats), worker-side slicing matches list slicing, the measured pipe
+savings are real, and ``evaluate_pairs`` produces the same map whether the
+columns travel by segment, by pickled chunk, or not at all (serial).
+"""
+
+import math
+from array import array
+
+import pytest
+
+from repro.parallel.feasibility import chunk_bounds, evaluate_pairs
+from repro.parallel.shm import (
+    attach_columns,
+    export_columns,
+    handoff_bytes_saved,
+    shm_available,
+)
+from repro.spatial.distance import EuclideanDistance, ManhattanDistance
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _columns(n=257, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    cols = tuple(array("d", (rng.uniform(-1e6, 1e6) for _ in range(n))) for _ in range(4))
+    # Make sure awkward values survive the round-trip too.
+    cols[0][0] = math.pi
+    cols[1][0] = -0.0
+    cols[2][0] = 5e-324  # smallest subnormal
+    return cols
+
+
+class TestRoundTrip:
+    def test_bit_identical(self):
+        columns = _columns()
+        block = export_columns(columns)
+        try:
+            back = attach_columns(block.handle)
+            assert [c.tobytes() for c in back] == [c.tobytes() for c in columns]
+            assert [c.typecode for c in back] == [c.typecode for c in columns]
+        finally:
+            block.unlink()
+
+    def test_mixed_typecodes(self):
+        columns = [array("d", [1.5, 2.5]), array("i", [7, -9, 11]), array("q", [2**40])]
+        block = export_columns(columns)
+        try:
+            back = attach_columns(block.handle)
+            assert [list(c) for c in back] == [list(c) for c in columns]
+        finally:
+            block.unlink()
+
+    def test_empty_columns(self):
+        block = export_columns([array("d"), array("d")])
+        try:
+            back = attach_columns(block.handle)
+            assert [len(c) for c in back] == [0, 0]
+        finally:
+            block.unlink()
+
+    def test_unlink_is_idempotent(self):
+        block = export_columns(_columns(8))
+        block.unlink()
+        block.unlink()
+
+    def test_nbytes_covers_the_payload(self):
+        columns = _columns(100)
+        block = export_columns(columns)
+        try:
+            assert block.nbytes >= sum(c.itemsize * len(c) for c in columns)
+        finally:
+            block.unlink()
+
+
+class TestSlicing:
+    @pytest.mark.parametrize("start,end", [(0, 10), (10, 57), (250, 257), (257, 257)])
+    def test_slice_matches_list_slice(self, start, end):
+        columns = _columns()
+        block = export_columns(columns)
+        try:
+            back = attach_columns(block.handle, start, end)
+            assert [list(c) for c in back] == [list(c[start:end]) for c in columns]
+        finally:
+            block.unlink()
+
+    def test_out_of_range_clamps(self):
+        columns = _columns(10)
+        block = export_columns(columns)
+        try:
+            back = attach_columns(block.handle, 8, 999)
+            assert [list(c) for c in back] == [list(c[8:]) for c in columns]
+            empty = attach_columns(block.handle, 999, 1000)
+            assert all(len(c) == 0 for c in empty)
+        finally:
+            block.unlink()
+
+    def test_chunk_bounds_cover_exactly_once(self):
+        for total, chunks in [(10, 3), (257, 4), (3, 8), (0, 2)]:
+            bounds = chunk_bounds(total, chunks)
+            flat = [i for s, e in bounds for i in range(s, e)]
+            assert flat == list(range(total))
+
+    def test_chunk_bounds_rejects_zero_chunks(self):
+        with pytest.raises(ValueError, match="chunks"):
+            chunk_bounds(10, 0)
+
+
+class TestBytesSaved:
+    def test_saving_is_positive_for_real_batches(self):
+        assert handoff_bytes_saved(_columns(4096), n_chunks=4) > 0
+
+    def test_tiny_batches_never_go_negative(self):
+        assert handoff_bytes_saved([array("d", [1.0])], n_chunks=8) >= 0
+
+
+class TestEvaluatePairsShmPath:
+    def _pairs(self, n=300, seed=9):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            (
+                (rng.uniform(0, 9), rng.uniform(0, 9)),
+                (rng.uniform(0, 9), rng.uniform(0, 9)),
+            )
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("metric", [EuclideanDistance(), ManhattanDistance()])
+    def test_shm_fanout_matches_serial(self, metric):
+        pairs = self._pairs()
+        fanned = evaluate_pairs(metric, pairs, n_jobs=2)
+        assert fanned == {pair: metric(*pair) for pair in pairs}
+
+    def test_shm_failure_falls_back_to_pickled_chunks(self, monkeypatch):
+        import repro.parallel.feasibility as feasibility
+
+        def boom(columns):
+            raise OSError("no segments today")
+
+        monkeypatch.setattr(feasibility, "export_columns", boom)
+        metric = EuclideanDistance()
+        pairs = self._pairs(64)
+        fanned = evaluate_pairs(metric, pairs, n_jobs=2)
+        assert fanned == {pair: metric(*pair) for pair in pairs}
+
+    def test_shm_unavailable_falls_back(self, monkeypatch):
+        import repro.parallel.feasibility as feasibility
+
+        monkeypatch.setattr(feasibility, "shm_available", lambda: False)
+        metric = EuclideanDistance()
+        pairs = self._pairs(64)
+        fanned = evaluate_pairs(metric, pairs, n_jobs=2)
+        assert fanned == {pair: metric(*pair) for pair in pairs}

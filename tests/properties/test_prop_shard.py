@@ -1,0 +1,147 @@
+"""Property-based tests for the spatial partition invariants.
+
+Two invariants carry the sharded engine's correctness argument:
+
+* **Exactly one shard** — the boxes tile the plane: any point (member of
+  the build population or not) is contained by exactly one half-open box,
+  for both schemes and any shard count.
+* **Border soundness** — for a Euclidean-lower-bounded metric, every
+  globally feasible (worker, task) pair has the task's home shard within
+  the worker's reach-disc overlap set.  This is what lets the sharded
+  engine register a worker only in its overlapped shards without ever
+  losing a feasible edge.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import pair_feasible, reach_radius
+from repro.datagen.distributions import IntRange
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.shard.partition import make_partition
+
+coordinates = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_subnormal=False
+)
+points_strategy = st.lists(
+    st.tuples(coordinates, coordinates), min_size=1, max_size=60
+)
+schemes = st.sampled_from(["grid", "kd"])
+shard_counts = st.integers(min_value=1, max_value=9)
+
+
+def _containing_shards(partition, point):
+    x, y = point
+    return [
+        sid
+        for sid, (x0, y0, x1, y1) in enumerate(partition.boxes)
+        if x0 <= x < x1 and y0 <= y < y1
+    ]
+
+
+class TestExactlyOneShard:
+    @given(points=points_strategy, n=shard_counts, scheme=schemes)
+    @settings(max_examples=120, deadline=None)
+    def test_population_points(self, points, n, scheme):
+        partition = make_partition(points, n, scheme)
+        assert partition.n_shards == n
+        for point in points:
+            hits = _containing_shards(partition, point)
+            assert len(hits) == 1
+            assert partition.shard_of(point) == hits[0]
+
+    @given(
+        points=points_strategy,
+        n=shard_counts,
+        scheme=schemes,
+        probe=st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_foreign_points_too(self, points, n, scheme, probe):
+        # The tiling covers the whole plane, not just the build population.
+        partition = make_partition(points, n, scheme)
+        assert len(_containing_shards(partition, probe)) == 1
+
+    @given(points=points_strategy, n=shard_counts, scheme=schemes)
+    @settings(max_examples=60, deadline=None)
+    def test_disc_overlap_contains_home_shard(self, points, n, scheme):
+        partition = make_partition(points, n, scheme)
+        for point in points:
+            home = partition.shard_of(point)
+            for radius in (0.0, 0.5, 10.0):
+                overlapped = partition.shards_overlapping_disc(point, radius)
+                assert home in overlapped
+                assert overlapped == sorted(overlapped)
+
+
+class TestBorderSoundness:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=6),
+        scheme=schemes,
+        now_offset=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_pair_task_shard_is_overlapped(
+        self, seed, n, scheme, now_offset
+    ):
+        instance = generate_synthetic(
+            SyntheticConfig(
+                num_workers=10,
+                num_tasks=14,
+                skill_universe=4,
+                worker_skills=IntRange(1, 2),
+                dependency_size=IntRange(0, 2),
+                seed=seed,
+            )
+        )
+        now = instance.earliest_start + now_offset
+        latest = max((t.deadline for t in instance.tasks), default=0.0)
+        points = [w.location for w in instance.workers] + [
+            t.location for t in instance.tasks
+        ]
+        partition = make_partition(points, n, scheme)
+        for worker in instance.workers:
+            radius = reach_radius(worker, latest, now)
+            overlapped = set(
+                partition.shards_overlapping_disc(worker.location, radius)
+            )
+            for task in instance.tasks:
+                if pair_feasible(worker, task, instance.metric, now):
+                    assert partition.shard_of(task.location) in overlapped
+
+    @given(
+        center=st.tuples(coordinates, coordinates),
+        # Zero or >= 1e-6: a subtler radius would be absorbed when added
+        # to a ~50-magnitude coordinate and the probe would land outside.
+        radius=st.one_of(
+            st.just(0.0),
+            st.floats(min_value=1e-6, max_value=20.0, allow_nan=False),
+        ),
+        points=points_strategy,
+        n=shard_counts,
+        scheme=schemes,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_overlap_set_is_a_disc_cover(self, center, radius, points, n, scheme):
+        # Any point within the disc lives in an overlapped shard: probe the
+        # interior along the axes and diagonals.  The outermost probe stays
+        # a hair inside the boundary — ``cx + r - cx`` can round an ulp
+        # past ``r``, and the closure-distance test is exact.
+        partition = make_partition(points, n, scheme)
+        overlapped = set(partition.shards_overlapping_disc(center, radius))
+        cx, cy = center
+        for fraction in (0.0, 0.5, 0.999):
+            r = radius * fraction
+            for dx, dy in (
+                (1, 0), (-1, 0), (0, 1), (0, -1),
+                (math.sqrt(0.5), math.sqrt(0.5)),
+                (-math.sqrt(0.5), -math.sqrt(0.5)),
+            ):
+                probe = (cx + r * dx, cy + r * dy)
+                assert partition.shard_of(probe) in overlapped

@@ -1,0 +1,208 @@
+"""Unit tests for the spatial partition builders."""
+
+import math
+
+import pytest
+
+from repro.shard.partition import (
+    SCHEMES,
+    SpatialPartition,
+    _grid_shape,
+    grid_partition,
+    kd_partition,
+    make_partition,
+)
+
+
+def _grid_points(nx=10, ny=10):
+    return [(i / (nx - 1), j / (ny - 1)) for i in range(nx) for j in range(ny)]
+
+
+class TestGridShape:
+    def test_most_square_factorisations(self):
+        assert _grid_shape(1) == (1, 1)
+        assert _grid_shape(4) == (2, 2)
+        assert _grid_shape(6) == (2, 3)
+        assert _grid_shape(12) == (3, 4)
+
+    def test_prime_degrades_to_strip(self):
+        assert _grid_shape(7) == (1, 7)
+
+
+class TestGridPartition:
+    def test_box_count_and_scheme(self):
+        part = grid_partition(_grid_points(), 6)
+        assert part.n_shards == 6
+        assert part.scheme == "grid"
+
+    def test_outer_edges_are_infinite(self):
+        part = grid_partition(_grid_points(), 4)
+        xs0 = [b[0] for b in part.boxes]
+        ys0 = [b[1] for b in part.boxes]
+        xs1 = [b[2] for b in part.boxes]
+        ys1 = [b[3] for b in part.boxes]
+        assert min(xs0) == -math.inf and min(ys0) == -math.inf
+        assert max(xs1) == math.inf and max(ys1) == math.inf
+
+    def test_every_point_in_exactly_one_shard(self):
+        part = grid_partition(_grid_points(), 4)
+        for point in _grid_points():
+            hits = [
+                sid
+                for sid, (x0, y0, x1, y1) in enumerate(part.boxes)
+                if x0 <= point[0] < x1 and y0 <= point[1] < y1
+            ]
+            assert len(hits) == 1
+            assert part.shard_of(point) == hits[0]
+
+    def test_far_away_point_still_lands_somewhere(self):
+        part = grid_partition(_grid_points(), 4)
+        assert 0 <= part.shard_of((1e9, -1e9)) < 4
+
+    def test_edge_point_belongs_to_higher_box(self):
+        # Split of [0, 1] x [0, 1] into 2x2 puts the shared edge at 0.5;
+        # half-open boxes assign (0.5, 0.5) to the top-right shard only.
+        part = grid_partition(_grid_points(), 4)
+        sid = part.shard_of((0.5, 0.5))
+        x0, y0, _, _ = part.boxes[sid]
+        assert x0 == 0.5 and y0 == 0.5
+
+    def test_empty_population_still_tiles_the_plane(self):
+        part = grid_partition([], 4)
+        assert part.n_shards == 4
+        assert 0 <= part.shard_of((3.7, -2.2)) < 4
+
+
+class TestDiscOverlap:
+    def test_interior_disc_overlaps_only_home_shard(self):
+        part = grid_partition(_grid_points(), 4)
+        assert part.shards_overlapping_disc((0.1, 0.1), 0.05) == [
+            part.shard_of((0.1, 0.1))
+        ]
+        assert not part.is_border((0.1, 0.1), 0.05)
+
+    def test_disc_crossing_one_edge_sees_both_neighbours(self):
+        part = grid_partition(_grid_points(), 4)
+        overlapped = part.shards_overlapping_disc((0.45, 0.1), 0.1)
+        assert len(overlapped) == 2
+        assert part.shard_of((0.45, 0.1)) in overlapped
+        assert part.is_border((0.45, 0.1), 0.1)
+
+    def test_disc_at_corner_sees_all_four(self):
+        part = grid_partition(_grid_points(), 4)
+        assert part.shards_overlapping_disc((0.5, 0.5), 0.1) == [0, 1, 2, 3]
+
+    def test_zero_radius_on_shared_edge_is_inclusive(self):
+        # Distance is measured to the box *closure*, so even a point disc
+        # sitting exactly on an edge reports both neighbours.
+        part = grid_partition(_grid_points(), 4)
+        assert len(part.shards_overlapping_disc((0.5, 0.1), 0.0)) == 2
+
+    def test_negative_radius_clamps_to_zero(self):
+        part = grid_partition(_grid_points(), 4)
+        assert part.shards_overlapping_disc((0.1, 0.1), -1.0) == [
+            part.shard_of((0.1, 0.1))
+        ]
+
+    def test_output_is_sorted(self):
+        part = grid_partition(_grid_points(), 9)
+        overlapped = part.shards_overlapping_disc((0.5, 0.5), 10.0)
+        assert overlapped == sorted(overlapped)
+        assert overlapped == list(range(9))
+
+
+class TestKdPartition:
+    def test_balances_clustered_population(self):
+        # Two tight clusters of very different local extent: a uniform grid
+        # would cut through one cluster; the KD split must put the cut in
+        # the gap and give each shard half the points.
+        cluster_a = [(0.01 * i, 0.01 * j) for i in range(5) for j in range(5)]
+        cluster_b = [(10.0 + 0.01 * i, 0.01 * j) for i in range(5) for j in range(5)]
+        points = cluster_a + cluster_b
+        part = kd_partition(points, 2)
+        counts = [0, 0]
+        for point in points:
+            counts[part.shard_of(point)] += 1
+        assert counts == [25, 25]
+
+    def test_cut_lands_in_the_gap_between_clusters(self):
+        cluster_a = [(0.1 * i, 0.0) for i in range(4)]
+        cluster_b = [(10.0 + 0.1 * i, 0.0) for i in range(4)]
+        part = kd_partition(cluster_a + cluster_b, 2)
+        # The shared x-edge is the midpoint between the rightmost A point
+        # and the leftmost B point — not on either point.
+        cut = part.boxes[0][2]
+        assert cut == part.boxes[1][0]
+        assert max(x for x, _ in cluster_a) < cut < min(x for x, _ in cluster_b)
+
+    def test_no_point_disc_is_border_on_clustered_data(self):
+        cluster_a = [(0.01 * i, 0.01 * j) for i in range(5) for j in range(5)]
+        cluster_b = [(10.0 + 0.01 * i, 0.01 * j) for i in range(5) for j in range(5)]
+        part = kd_partition(cluster_a + cluster_b, 2)
+        assert not any(part.is_border(p, 0.4) for p in cluster_a + cluster_b)
+
+    def test_four_way_split_counts(self):
+        points = _grid_points(8, 8)
+        part = kd_partition(points, 4)
+        counts = [0] * 4
+        for point in points:
+            counts[part.shard_of(point)] += 1
+        assert sum(counts) == len(points)
+        assert max(counts) - min(counts) <= len(points) // 4
+
+    def test_odd_shard_count(self):
+        points = _grid_points(9, 9)
+        part = kd_partition(points, 3)
+        assert part.n_shards == 3
+        counts = [0] * 3
+        for point in points:
+            counts[part.shard_of(point)] += 1
+        assert min(counts) > 0
+
+    def test_single_shard_is_whole_plane(self):
+        part = kd_partition(_grid_points(), 1)
+        assert part.n_shards == 1
+        assert part.shard_of((1e12, -1e12)) == 0
+
+    def test_empty_population_falls_back_to_grid_shape(self):
+        part = kd_partition([], 4)
+        assert part.n_shards == 4
+        assert 0 <= part.shard_of((0.0, 0.0)) < 4
+
+    def test_duplicate_points_do_not_break_the_tiling(self):
+        points = [(0.5, 0.5)] * 20
+        part = kd_partition(points, 4)
+        assert part.n_shards == 4
+        hits = [
+            sid
+            for sid, (x0, y0, x1, y1) in enumerate(part.boxes)
+            if x0 <= 0.5 < x1 and y0 <= 0.5 < y1
+        ]
+        assert len(hits) == 1
+
+
+class TestMakePartition:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_dispatch(self, scheme):
+        part = make_partition(_grid_points(), 4, scheme)
+        assert isinstance(part, SpatialPartition)
+        assert part.scheme == scheme
+        assert part.n_shards == 4
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError, match="unknown partition scheme"):
+            make_partition(_grid_points(), 4, "voronoi")
+
+    def test_zero_shards_raises(self):
+        for scheme in SCHEMES:
+            with pytest.raises(ValueError, match="n_shards"):
+                make_partition(_grid_points(), 0, scheme)
+
+    def test_empty_boxes_raises(self):
+        with pytest.raises(ValueError, match="at least one box"):
+            SpatialPartition([], "grid")
+
+    def test_escaping_point_raises_on_broken_partition(self):
+        part = SpatialPartition([(0.0, 0.0, 1.0, 1.0)], "grid")
+        with pytest.raises(ValueError, match="escapes"):
+            part.shard_of((2.0, 2.0))
