@@ -1,0 +1,463 @@
+"""Persistent column store and warm-started matching: the 100k-entity gate.
+
+Two workloads back the ``--store`` scale claims:
+
+* **Scale workload** — an :class:`~repro.engine.engine.AllocationEngine`
+  driven directly through a full build plus ``TASK_WAVES`` incremental
+  waves (task arrivals, task retirements, worker relocations) over
+  ``--entities`` workers+tasks.  With the store on, only delta rows are
+  re-packed object->column; with it off, every ``_make_batch`` call
+  rebuilds the touched populations.  The headline counter is the row
+  ratio ``(store_rows_touched + store_rebuild_rows_avoided) /
+  store_rows_touched`` — conversion rows a rebuild would perform per row
+  the store actually packed — which must beat ``MIN_ROW_RATIO``.  The
+  feasibility graph, ``engine_stats`` and the distance-cache trajectory
+  must be bit-identical between the modes (the store's exactness
+  contract).
+
+* **Warm-matching workloads** — (a) a multi-batch platform run where a
+  warm :class:`~repro.matching.bipartite.MatchMemo` replays repeated
+  staffing queries (``matching_warm_starts`` > 0, reports identical to
+  the cold allocator), and (b) a repeated-staffing loop over
+  Hall-violating and feasible task sets whose queries *reach the
+  solver*, pinning that the memo eliminates the repeat augment rounds
+  (``matching_augment_rounds`` warm << cold) while returning identical
+  assignments.
+
+Counter-based gates are deterministic on 1-CPU hosts; wall-clock numbers
+are recorded for trend diffing only.  ``check_perf_gate.py`` reruns the
+100k-entity workload as the CI gate; the ``columnar-fallback`` CI job
+runs ``python benchmarks/bench_store.py --entities 10000`` as a
+pure-python scale smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_HERE = Path(__file__).resolve().parent
+for _entry in (str(_HERE), str(_HERE.parent / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.engine.engine import AllocationEngine
+from repro.matching.bipartite import MatchMemo, match_task_set
+from repro.obs.metrics import REGISTRY
+
+#: Rebuild-rows-per-packed-row the persistent store must beat at scale.
+MIN_ROW_RATIO = 5.0
+
+#: The ISSUE's headline scale: 100k entities (4:1 workers to tasks).
+SCALE_ENTITIES = 100_000
+
+#: Incremental waves after the full build; each adds tasks, retires the
+#: oldest live tasks and relocates a disjoint block of workers.
+TASK_WAVES = 8
+
+#: Workers relocated per wave — exercises row recompute, store slot
+#: free/reuse and the next wave's dirty re-pack.
+RELOCATED_PER_WAVE = 30
+
+_N_SKILLS = 32
+_REGION = 1000.0
+
+STORE_CONFIG = {
+    "entities": SCALE_ENTITIES,
+    "worker_share": 0.8,
+    "task_waves": TASK_WAVES,
+    "relocated_per_wave": RELOCATED_PER_WAVE,
+    "skills": _N_SKILLS,
+    "seed": 11,
+}
+
+AUX = ("store_rows_touched", "store_rebuild_rows_avoided")
+
+
+# -- scale workload ----------------------------------------------------------
+
+
+def make_scale_workload(n_entities: int, seed: int = 11) -> Dict[str, object]:
+    """A deterministic n-entity instance plus its wave schedule.
+
+    80% workers, 20% tasks; tasks keep ``TASK_WAVES`` tail slices back as
+    arrival waves.  Windows are effectively unbounded so feasibility is
+    decided by reach and skills — the conversion-cost regime the store
+    targets — and ``max_distance`` is small relative to the region so the
+    grid index engages exactly as in production full builds.
+    """
+    n_workers = (n_entities * 4) // 5
+    n_tasks = n_entities - n_workers
+    # Small waves keep the kernel-pair volume per wave modest (while still
+    # clearing the columnar sync floor), so per-batch conversion work — the
+    # regime the store optimises — is what the workload actually measures.
+    per_wave = max(1, n_tasks // 4000)
+    n_initial = n_tasks - TASK_WAVES * per_wave
+    if n_initial <= 0:
+        raise ValueError(f"{n_entities} entities is too small for {TASK_WAVES} waves")
+    rng = Random(seed)
+    workers = [
+        Worker(
+            id=i,
+            location=(rng.uniform(0.0, _REGION), rng.uniform(0.0, _REGION)),
+            start=0.0,
+            wait=1e9,
+            velocity=1.0,
+            max_distance=15.0,
+            skills=frozenset(rng.sample(range(_N_SKILLS), 2)),
+        )
+        for i in range(n_workers)
+    ]
+    tasks = [
+        Task(
+            id=n_workers + i,
+            location=(rng.uniform(0.0, _REGION), rng.uniform(0.0, _REGION)),
+            start=0.0,
+            wait=1e9,
+            skill=rng.randrange(_N_SKILLS),
+            duration=1.0,
+        )
+        for i in range(n_tasks)
+    ]
+    instance = ProblemInstance(
+        workers=workers, tasks=tasks, skills=SkillUniverse(_N_SKILLS)
+    )
+    return {
+        "instance": instance,
+        "workers": workers,
+        "initial": tasks[:n_initial],
+        "waves": [
+            tasks[n_initial + w * per_wave : n_initial + (w + 1) * per_wave]
+            for w in range(TASK_WAVES)
+        ],
+        "retire_per_wave": max(1, (per_wave * 4) // 5),
+    }
+
+
+def run_scale_workload(
+    workload: Dict[str, object], use_store: bool
+) -> Tuple[AllocationEngine, Dict[str, float], float]:
+    """Full build + waves against one engine; returns (engine, aux, wall_ms).
+
+    The schedule is pure data (no RNG at run time), so the store-on and
+    store-off runs see byte-identical population sequences.
+    """
+    engine = AllocationEngine(
+        workload["instance"], use_columnar=True, use_store=use_store
+    )
+    workers: List[Worker] = list(workload["workers"])
+    live: List[Task] = list(workload["initial"])
+    retire: int = workload["retire_per_wave"]
+    started = time.perf_counter()
+    engine.begin_batch(workers, live, 0.0)
+    for wave_no, wave in enumerate(workload["waves"]):
+        live = live[retire:] + list(wave)
+        base = (wave_no * RELOCATED_PER_WAVE) % max(1, len(workers) - RELOCATED_PER_WAVE)
+        for k in range(min(RELOCATED_PER_WAVE, len(workers) - base)):
+            mover = workers[base + k]
+            x, y = mover.location
+            workers[base + k] = replace(
+                mover, location=((x + 10.0) % _REGION, y)
+            )
+        engine.begin_batch(workers, live, (wave_no + 1) * 8.0)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    aux = {key: engine.counters.aux_dict()[f"engine_{key}"] for key in AUX}
+    return engine, aux, wall_ms
+
+
+def assert_engines_identical(on: AllocationEngine, off: AllocationEngine) -> None:
+    """The store's exactness contract at engine granularity."""
+    assert on._tasks_of == off._tasks_of, "feasibility graphs diverged"
+    assert on._workers_of == off._workers_of, "reverse adjacency diverged"
+    assert on.stats() == off.stats(), "engine_stats diverged"
+    assert on.metric.hits == off.metric.hits, "cache hit trajectory diverged"
+    assert on.metric.misses == off.metric.misses, "cache miss trajectory diverged"
+    assert list(on.metric._cache.items()) == list(
+        off.metric._cache.items()
+    ), "cache contents/order diverged"
+
+
+def store_row_ratio(aux: Dict[str, float]) -> float:
+    """Rebuild-converted rows per store-packed row, from one store-on run."""
+    touched = aux["store_rows_touched"]
+    return (touched + aux["store_rebuild_rows_avoided"]) / max(touched, 1.0)
+
+
+# -- warm-started matching workloads -----------------------------------------
+
+
+def make_matching_sets(
+    n_sets: int = 6, seed: int = 23
+) -> Tuple[ProblemInstance, List[Dict[str, object]], object]:
+    """Solver-reaching staffing queries with a deterministic repeat pattern.
+
+    Each cluster contributes two four-task sets over four local workers:
+    an *infeasible* one (a Hall violation — two tasks share a single
+    capable worker — that Hungarian must discover) and a *feasible* one.
+    Candidate rows are fixed per query, so re-asking across simulated
+    batches is exactly the repeated-failed-set pattern of a platform run,
+    minus the arrival noise.
+    """
+    rng = Random(seed)
+    workers: List[Worker] = []
+    tasks: List[Task] = []
+    queries: List[Dict[str, object]] = []
+    rows_of: Dict[int, List[int]] = {}
+    for s in range(n_sets):
+        wids = list(range(s * 4, s * 4 + 4))
+        tids = list(range(10_000 + s * 8, 10_000 + s * 8 + 8))
+        for wid in wids:
+            workers.append(
+                Worker(
+                    id=wid,
+                    location=(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)),
+                    start=0.0,
+                    wait=1e6,
+                    velocity=1.0,
+                    max_distance=1e6,
+                    skills=frozenset([0]),
+                )
+            )
+        for tid in tids:
+            tasks.append(
+                Task(
+                    id=tid,
+                    location=(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)),
+                    start=0.0,
+                    wait=1e6,
+                    skill=0,
+                )
+            )
+        w0, w1, w2, w3 = wids
+        hall = tids[:4]
+        # Two tasks admit only w0: a Hall violation the solver must reach
+        # (four distinct columns, so the early column-count check passes).
+        rows_of[hall[0]] = [w0, w1]
+        rows_of[hall[1]] = [w0]
+        rows_of[hall[2]] = [w0]
+        rows_of[hall[3]] = [w2, w3]
+        feasible = tids[4:]
+        rows_of[feasible[0]] = [w0, w1]
+        rows_of[feasible[1]] = [w1, w2]
+        rows_of[feasible[2]] = [w2, w3]
+        rows_of[feasible[3]] = [w3]
+        queries.append({"task_ids": hall, "free": wids})
+        queries.append({"task_ids": feasible, "free": wids})
+    instance = ProblemInstance(
+        workers=workers, tasks=tasks, skills=SkillUniverse(_N_SKILLS)
+    )
+
+    class _FixedChecker:
+        """Feasible-pair oracle with pinned candidate rows."""
+
+        def workers_of(self, task_id: int) -> List[int]:
+            return rows_of[task_id]
+
+    return instance, queries, _FixedChecker()
+
+
+def run_matching_workload(
+    warm: bool, rounds: int = 25, method: str = "hungarian"
+) -> Tuple[List[Optional[Dict[int, int]]], Dict[str, float]]:
+    """``rounds`` simulated batches of identical staffing queries.
+
+    Returns every solve result (in order) plus the deltas of the
+    process-wide matching counters, so callers can pin both identity and
+    the warm/cold augment-round gap.
+    """
+    rounds_counter = REGISTRY.counter("matching_augment_rounds")
+    warm_counter = REGISTRY.counter("matching_warm_starts")
+    before = (rounds_counter.value, warm_counter.value)
+    instance, queries, checker = make_matching_sets()
+    memo = MatchMemo() if warm else None
+    results: List[Optional[Dict[int, int]]] = []
+    for _ in range(rounds):
+        for query in queries:
+            results.append(
+                match_task_set(
+                    query["task_ids"],
+                    query["free"],
+                    checker,
+                    instance,
+                    method=method,
+                    memo=memo,
+                )
+            )
+    deltas = {
+        "matching_augment_rounds": rounds_counter.value - before[0],
+        "matching_warm_starts": warm_counter.value - before[1],
+    }
+    return results, deltas
+
+
+def run_platform_matching_workload(warm: bool):
+    """A real multi-batch simulation with the warm memo on or off.
+
+    Task-heavy and worker-scarce with long windows, so unstaffable sets
+    are re-queried batch after batch — the memo's natural prey.  Returns
+    (report, counter deltas).
+    """
+    from repro.algorithms.greedy import DASCGreedy
+    from repro.datagen.distributions import Range
+    from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+    from repro.simulation.platform import Platform
+
+    cfg = replace(
+        SyntheticConfig(seed=9).scaled(0.04),
+        num_workers=40,
+        num_tasks=120,
+        waiting_time=Range(40.0, 60.0),
+    )
+    instance = generate_synthetic(cfg)
+    rounds_counter = REGISTRY.counter("matching_augment_rounds")
+    warm_counter = REGISTRY.counter("matching_warm_starts")
+    before = (rounds_counter.value, warm_counter.value)
+    report = Platform(
+        instance, DASCGreedy(warm_matching=warm), batch_interval=5.0
+    ).run()
+    deltas = {
+        "matching_augment_rounds": rounds_counter.value - before[0],
+        "matching_warm_starts": warm_counter.value - before[1],
+    }
+    return report, deltas
+
+
+# -- pytest entry points ------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct `python bench_store.py` runs
+    pytest = None
+
+if pytest is not None:
+    from repro.columnar import numpy_available
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+    def test_bench_store_scale(benchmark, record_bench_json):
+        """Store on vs off on a downscaled wave workload (CI-fast).
+
+        The counter gate is scale-invariant (the ratio is structural);
+        the full 100k-entity run lives in ``check_perf_gate.py``.
+        """
+        workload = make_scale_workload(20_000, seed=STORE_CONFIG["seed"])
+        benchmark(lambda: run_scale_workload(workload, True)[1]["store_rows_touched"])
+        on_engine, on_aux, on_ms = run_scale_workload(workload, True)
+        off_engine, off_aux, off_ms = run_scale_workload(workload, False)
+        assert_engines_identical(on_engine, off_engine)
+        assert off_aux["store_rows_touched"] == 0.0
+        ratio = store_row_ratio(on_aux)
+        record_bench_json(
+            "store_scale_20k",
+            dict(STORE_CONFIG, entities=20_000, use_store=True),
+            on_ms,
+            dict(on_aux, row_ratio=ratio),
+        )
+        record_bench_json(
+            "store_scale_20k_off",
+            dict(STORE_CONFIG, entities=20_000, use_store=False),
+            off_ms,
+            dict(off_engine.stats()),
+        )
+        assert ratio >= MIN_ROW_RATIO, (
+            f"store row ratio {ratio:.2f} < {MIN_ROW_RATIO} "
+            f"(touched={on_aux['store_rows_touched']}, "
+            f"avoided={on_aux['store_rebuild_rows_avoided']})"
+        )
+
+    def test_bench_store_warm_matching(record_bench_json):
+        """Warm memo: identical solutions, repeat augment rounds eliminated."""
+        started = time.perf_counter()
+        warm_results, warm_deltas = run_matching_workload(True)
+        cold_results, cold_deltas = run_matching_workload(False)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        assert warm_results == cold_results
+        assert cold_deltas["matching_warm_starts"] == 0.0
+        assert warm_deltas["matching_warm_starts"] > 0.0
+        assert (
+            warm_deltas["matching_augment_rounds"]
+            < cold_deltas["matching_augment_rounds"]
+        )
+        record_bench_json(
+            "matching_warm_start",
+            {"workload": "hall+feasible sets x 25 rounds", "method": "hungarian"},
+            wall_ms,
+            {
+                "warm_augment_rounds": warm_deltas["matching_augment_rounds"],
+                "cold_augment_rounds": cold_deltas["matching_augment_rounds"],
+                "warm_starts": warm_deltas["matching_warm_starts"],
+            },
+        )
+
+    def test_bench_store_platform_warm_matching():
+        """End to end: warm allocator, identical report, memo engaged."""
+        warm_report, warm_deltas = run_platform_matching_workload(True)
+        cold_report, cold_deltas = run_platform_matching_workload(False)
+        assert warm_report.assignments == cold_report.assignments
+        assert warm_report.completion_times == cold_report.completion_times
+        assert warm_report.expired_tasks == cold_report.expired_tasks
+        assert warm_report.engine_stats == cold_report.engine_stats
+        assert warm_deltas["matching_warm_starts"] > 0.0
+        assert cold_deltas["matching_warm_starts"] == 0.0
+        assert (
+            warm_deltas["matching_augment_rounds"]
+            <= cold_deltas["matching_augment_rounds"]
+        )
+
+
+# -- direct execution (fallback scale smoke) ----------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--entities",
+        type=int,
+        default=SCALE_ENTITIES,
+        help="total worker+task count for the scale workload",
+    )
+    parser.add_argument(
+        "--min-row-ratio",
+        type=float,
+        default=MIN_ROW_RATIO,
+        help="minimum rebuild-rows-per-packed-row ratio",
+    )
+    args = parser.parse_args(argv)
+    workload = make_scale_workload(args.entities, seed=STORE_CONFIG["seed"])
+    on_engine, on_aux, on_ms = run_scale_workload(workload, True)
+    off_engine, off_aux, off_ms = run_scale_workload(workload, False)
+    assert_engines_identical(on_engine, off_engine)
+    ratio = store_row_ratio(on_aux)
+    print(
+        f"store scale: entities={args.entities} on={on_ms:.0f}ms off={off_ms:.0f}ms "
+        f"touched={on_aux['store_rows_touched']:.0f} "
+        f"avoided={on_aux['store_rebuild_rows_avoided']:.0f} ratio={ratio:.2f}"
+    )
+    warm_results, warm_deltas = run_matching_workload(True)
+    cold_results, cold_deltas = run_matching_workload(False)
+    assert warm_results == cold_results, "warm matching diverged from cold"
+    print(
+        f"warm matching: rounds warm={warm_deltas['matching_augment_rounds']:.0f} "
+        f"cold={cold_deltas['matching_augment_rounds']:.0f} "
+        f"hits={warm_deltas['matching_warm_starts']:.0f}"
+    )
+    ok = (
+        ratio >= args.min_row_ratio
+        and warm_deltas["matching_warm_starts"] > 0
+        and warm_deltas["matching_augment_rounds"]
+        < cold_deltas["matching_augment_rounds"]
+    )
+    print("store gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

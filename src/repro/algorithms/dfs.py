@@ -87,6 +87,14 @@ class DFSExact(BatchAllocator):
             pruned = candidate.prune_dependency_violations(graph, prev)
             return pruned.score
 
+        # Consecutive bound queries differ by one worker and a handful of
+        # taken tasks, so each repairs the previous bound's matching via
+        # ``initial=`` instead of augmenting from empty.  Stale seeds (task
+        # taken, edge pruned, conflicts) are dropped by the solver; only
+        # the cardinality is consumed and maximum cardinality is unique,
+        # so the bound — and hence the search — is unchanged.
+        seed_by_wid: Dict[int, int] = {}
+
         def matching_bound(depth: int) -> int:
             """Max extra pairs the suffix workers could add, deps ignored."""
             suffix = order[depth:]
@@ -94,7 +102,14 @@ class DFSExact(BatchAllocator):
                 i: [t for t in options[wid] if t not in taken]
                 for i, wid in enumerate(suffix)
             }
-            left_to_right, _ = hopcroft_karp(adjacency, len(suffix))
+            initial = {
+                i: seed_by_wid[wid]
+                for i, wid in enumerate(suffix)
+                if wid in seed_by_wid
+            }
+            left_to_right, _ = hopcroft_karp(adjacency, len(suffix), initial=initial)
+            for i, tid in left_to_right.items():
+                seed_by_wid[suffix[i]] = tid
             return len(left_to_right)
 
         def descend(depth: int) -> None:

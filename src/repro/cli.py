@@ -50,6 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_roadnet_arguments(run)
     _add_columnar_arguments(run)
+    _add_store_arguments(run)
     _add_obs_arguments(run)
     _add_events_arguments(run)
 
@@ -105,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shard_arguments(solve)
     _add_roadnet_arguments(solve)
     _add_columnar_arguments(solve)
+    _add_store_arguments(solve)
     _add_obs_arguments(solve)
     _add_events_arguments(solve)
 
@@ -228,6 +230,33 @@ def _apply_columnar(args: argparse.Namespace) -> None:
         set_default_columnar(args.columnar)
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        dest="store",
+        action="store_true",
+        default=None,
+        help="maintain the columnar snapshots in a persistent delta-synced "
+        "column store instead of rebuilding them every batch (bit-identical "
+        "reports and engine stats; pays off on large populations; requires "
+        "the columnar path)",
+    )
+    parser.add_argument(
+        "--no-store",
+        dest="store",
+        action="store_false",
+        help="force per-batch snapshot rebuilds (bit-identical — for "
+        "measuring the store's conversion savings)",
+    )
+
+
+def _apply_store(args: argparse.Namespace) -> None:
+    if getattr(args, "store", None) is not None:
+        from repro.columnar import set_default_store
+
+        set_default_store(args.store)
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -314,6 +343,7 @@ def _obs_report(args: argparse.Namespace, tracer, *registries, journal=None) -> 
 def _cmd_run(args: argparse.Namespace) -> int:
     _apply_roadnet_acceleration(args)
     _apply_columnar(args)
+    _apply_store(args)
     kwargs = {"seed": args.seed, "n_jobs": args.jobs}
     if args.scale is not None:
         kwargs["scale"] = args.scale
@@ -410,6 +440,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     _apply_roadnet_acceleration(args)
     _apply_columnar(args)
+    _apply_store(args)
     instance = load_instance(args.instance)
     allocator = make_allocator(
         args.approach, seed=args.seed, game_incremental=not args.naive_game

@@ -12,6 +12,12 @@ and distances are bit-identical to the scalar
 The process-wide toggle (:func:`set_default_columnar`, surfaced as the CLI
 ``--columnar/--no-columnar`` flags) defaults to *auto*: on exactly when
 numpy is importable.
+
+:mod:`repro.columnar.store` adds the persistent, delta-maintained layer on
+top: a process-lifetime :class:`ColumnStore` arena with stable skill
+interning whose :meth:`~ColumnStore.view` slices kernel-compatible batches
+without re-converting unchanged entities (opt-in via
+:func:`set_default_store` / the CLI ``--store`` flag).
 """
 
 from repro.columnar.batch import (
@@ -19,6 +25,13 @@ from repro.columnar.batch import (
     flatten_rows,
     intern_skills,
     pack_pair_columns,
+)
+from repro.columnar.store import (
+    ColumnStore,
+    InterningCache,
+    SkillInterner,
+    default_store,
+    set_default_store,
 )
 from repro.columnar.kernels import (
     CODES,
@@ -43,14 +56,18 @@ from repro.columnar.kernels import (
 
 __all__ = [
     "CODES",
+    "ColumnStore",
     "ColumnarBatch",
+    "InterningCache",
     "REASON_DEADLINE",
     "REASON_FEASIBLE",
     "REASON_NAMES",
     "REASON_REACH",
     "REASON_SKILL",
+    "SkillInterner",
     "available_backends",
     "default_columnar",
+    "default_store",
     "feasible_dense",
     "feasible_pairs",
     "flatten_rows",
@@ -62,6 +79,7 @@ __all__ = [
     "rejection_reasons_dense",
     "resolve_backend",
     "set_default_columnar",
+    "set_default_store",
     "skill_candidates_dense",
     "true_positions",
 ]

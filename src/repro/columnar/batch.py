@@ -20,7 +20,7 @@ on the object records at the edges of the system.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bits per packed skill word.
 WORD_BITS = 64
@@ -91,8 +91,19 @@ class ColumnarBatch:
         "task_ids",
     )
 
-    def __init__(self, workers: Sequence, tasks: Sequence) -> None:
-        table = intern_skills(workers, tasks)
+    def __init__(
+        self,
+        workers: Sequence,
+        tasks: Sequence,
+        table: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> None:
+        # A caller-provided table (e.g. the engine's cached interning
+        # table, see repro.columnar.store.InterningCache) must cover every
+        # skill present — a missing skill raises KeyError below rather
+        # than packing a wrong mask.  Supersets are fine: kernels test
+        # mask membership only, never bit order or table width.
+        if table is None:
+            table = intern_skills(workers, tasks)
         words = max(1, -(-len(table) // WORD_BITS))
         self.skill_table = table
         self.n_workers = len(workers)
@@ -138,10 +149,24 @@ class ColumnarBatch:
             & self.tskill_bitmask[task_pos]
         )
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Kernels read only the packed columns, so pickled copies (fork
+        # workers, spawned shards) deliberately drop the interning table —
+        # at 100k entities it is by far the largest part of the payload
+        # and pure dead weight on the far side.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["skill_table"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def __repr__(self) -> str:
+        skills = "-" if self.skill_table is None else len(self.skill_table)
         return (
             f"ColumnarBatch(workers={self.n_workers}, tasks={self.n_tasks}, "
-            f"skills={len(self.skill_table)}, words={self.n_skill_words})"
+            f"skills={skills}, words={self.n_skill_words})"
         )
 
 

@@ -71,6 +71,16 @@ _AUX_COUNTER_FIELDS = (
         "scalar_pair_evals",
         "candidate pairs decided by interpreter-level per-pair evaluation",
     ),
+    (
+        "store_rows_touched",
+        "entity rows actually (re)packed object->column by the persistent "
+        "column store",
+    ),
+    (
+        "store_rebuild_rows_avoided",
+        "entity rows a per-batch rebuild would have converted but the "
+        "persistent store served unchanged",
+    ),
 )
 
 AUX_FIELD_NAMES = tuple(name for name, _ in _AUX_COUNTER_FIELDS)

@@ -43,6 +43,7 @@ from repro.columnar import (
     true_positions,
 )
 from repro.columnar.kernels import CODES as COLUMNAR_CODES
+from repro.columnar.store import ColumnStore, InterningCache, default_store
 from repro.core.constraints import deadline_ok, prune_rejection_reason, reach_radius
 from repro.core.instance import ProblemInstance
 from repro.core.task import Task
@@ -108,6 +109,21 @@ class AllocationEngine:
             the chunked kernel).  Only the auxiliary
             :meth:`~repro.engine.counters.EngineCounters.aux_dict`
             telemetry distinguishes the modes.
+        use_store: maintain the columnar snapshots in a process-lifetime
+            :class:`~repro.columnar.store.ColumnStore` instead of
+            rebuilding them from entity objects every batch — only rows
+            whose records changed since the last sync are re-packed, and
+            kernel batches are sliced out of the persistent arena.
+            Requires the columnar path (ignored when it is off).  None
+            (default) follows the process default
+            (:func:`repro.columnar.default_store`, itself off by
+            default).  Decisions, ``engine_stats`` and the cache
+            trajectory are bit-identical either way — views carry the
+            same packed columns a fresh batch would (stable interning
+            changes bit *positions* only, which the kernels never read) —
+            while the auxiliary ``store_rows_touched`` /
+            ``store_rebuild_rows_avoided`` counters record the conversion
+            work saved.
     """
 
     def __init__(
@@ -121,6 +137,7 @@ class AllocationEngine:
         n_jobs: int = 1,
         parallel_threshold: Optional[int] = None,
         use_columnar: Optional[bool] = None,
+        use_store: Optional[bool] = None,
         journal: Optional[EventJournal] = None,
     ) -> None:
         self.instance = instance
@@ -130,6 +147,15 @@ class AllocationEngine:
         self._columnar_code: Optional[str] = (
             columnar_code if enabled and columnar_code in COLUMNAR_CODES else None
         )
+        store_enabled = default_store() if use_store is None else use_store
+        self._store: Optional[ColumnStore] = (
+            ColumnStore()
+            if store_enabled and self._columnar_code is not None
+            else None
+        )
+        # Legacy rebuild path: cache the sorted interning table across
+        # batches, re-sorting only when the skill universe grows.
+        self._interning = InterningCache()
         self.n_jobs = resolve_jobs(n_jobs)
         self.parallel_threshold = (
             DEFAULT_PAIR_THRESHOLD if parallel_threshold is None else parallel_threshold
@@ -234,10 +260,19 @@ class AllocationEngine:
         self._sync_cache_counters()
         return self.counters.as_dict()
 
+    def aux_stats(self) -> Dict[str, float]:
+        """The mode-dependent auxiliary telemetry (columnar/store counters)."""
+        return self.counters.aux_dict()
+
     @property
     def columnar_active(self) -> bool:
         """Whether full builds route through the columnar kernels."""
         return self._columnar_code is not None
+
+    @property
+    def store_active(self) -> bool:
+        """Whether kernel batches are served by the persistent column store."""
+        return self._store is not None
 
     @property
     def num_workers(self) -> int:
@@ -250,12 +285,34 @@ class AllocationEngine:
     # -- build / update ----------------------------------------------------------
 
     def _reset(self) -> None:
+        # The column store deliberately survives a reset: its records are
+        # diffed on every sync, so stale rows cost a dict probe and rows
+        # for still-identical entities keep their conversion savings.
         self._workers.clear()
         self._tasks.clear()
         self._tasks_of.clear()
         self._workers_of.clear()
         self._index = None
         self._built = False
+
+    def _make_batch(self, workers: Sequence[Worker], tasks: Sequence[Task]) -> ColumnarBatch:
+        """Kernel-ready columnar snapshot of the given populations.
+
+        Without the store this is a per-batch rebuild (with the engine's
+        cached interning table, so the skill universe is only re-sorted
+        when it grows); with it, unchanged rows are served straight from
+        the persistent arena and only the delta is re-packed.
+        """
+        if self._store is None:
+            return ColumnarBatch(
+                workers, tasks, table=self._interning.table_for(workers, tasks)
+            )
+        touched = self._store.sync(workers, tasks)
+        self.counters.store_rows_touched += touched
+        self.counters.store_rebuild_rows_avoided += (
+            len(workers) + len(tasks) - touched
+        )
+        return self._store.view(workers, tasks)
 
     def _full_build(
         self, workers: Sequence[Worker], tasks: Sequence[Task], now: float
@@ -311,7 +368,7 @@ class AllocationEngine:
         """
         tasks = list(self._tasks.values())
         code = self._columnar_code
-        batch = ColumnarBatch(workers, tasks)
+        batch = self._make_batch(workers, tasks)
         if self._index is None:
             # Dense tile: the skill filter runs inside the kernel, so the
             # bulk of the cross product is rejected without ever existing
@@ -479,6 +536,8 @@ class AllocationEngine:
 
     def _remove_task(self, task_id: int) -> None:
         del self._tasks[task_id]
+        if self._store is not None:
+            self._store.remove_task(task_id)
         if self._index is not None and task_id in self._index:
             self._index.remove(task_id)
         for worker_id in self._workers_of.pop(task_id):
@@ -486,6 +545,10 @@ class AllocationEngine:
 
     def _remove_worker(self, worker_id: int) -> None:
         del self._workers[worker_id]
+        if self._store is not None:
+            # Departure or refresh either way: a refreshed record re-packs
+            # on the next sync, which is exactly the dirty-row accounting.
+            self._store.remove_worker(worker_id)
         for task_id in self._tasks_of.pop(worker_id):
             self._workers_of[task_id].discard(worker_id)
 
@@ -578,7 +641,7 @@ class AllocationEngine:
         self.counters.columnar_pairs += len(widx)
         if not widx:
             return
-        batch = ColumnarBatch(changed, tasks)
+        batch = self._make_batch(changed, tasks)
         mask, skill_mask, dists = feasible_pairs(batch, widx, tidx, now, code)
         if self.journal.enabled:
             codes = rejection_reasons(batch, widx, tidx, now, code)
@@ -630,7 +693,7 @@ class AllocationEngine:
         if not workers:
             return
         code = self._columnar_code
-        batch = ColumnarBatch(workers, added)
+        batch = self._make_batch(workers, added)
         widx: List[int] = []
         tidx: List[int] = []
         for task_pos in range(len(added)):

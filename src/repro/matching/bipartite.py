@@ -5,18 +5,64 @@ conducted by the currently-free workers, and by which workers?*
 :func:`match_task_set` answers it.  One worker covers at most one task of the
 set (the exclusive constraint), so the question is a perfect matching on the
 task side of the feasible-pair bipartite graph.
+
+Across the batches of a simulation the same task sets are asked about again
+and again with barely-changed candidate pools, so allocators may hand in a
+:class:`MatchMemo`: when a set's candidate rows are unchanged since the last
+solve, the stored solution is replayed instead of re-running the solver.
+The memo keys on the *exact* solver input (candidate rows per task), which
+is what keeps the warm path bit-identical to cold solves — an approximate
+warm start (seeding the solver with the stale matching) could legally land
+on a different optimum and break the repo's bit-identity contract.  Costs
+need no fingerprinting: batch matching runs on static worker/task records,
+so the cost of a (worker, task) pair is a pure function of the ids for the
+lifetime of a :class:`~repro.core.instance.ProblemInstance`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Literal, Optional, Sequence
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 from repro.core.constraints import FeasibilityChecker
 from repro.core.instance import ProblemInstance
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.hungarian import INFEASIBLE, hungarian
+from repro.obs.metrics import REGISTRY
 
 Method = Literal["hungarian", "hopcroft-karp"]
+
+#: Substrate total in the process-wide obs registry: solver runs skipped
+#: because a memo replayed the previous solution for identical input.
+_WARM = REGISTRY.counter(
+    "matching_warm_starts",
+    "match_task_set solves replayed from a warm-start memo (solver skipped)",
+)
+
+
+class MatchMemo:
+    """Warm-start memo for :func:`match_task_set`.
+
+    One memo belongs to one allocator and implicitly to one problem
+    instance: :meth:`bind` clears the entries whenever the instance
+    changes, because Hungarian costs are derived from per-instance worker
+    and task records.  Entries map ``(method, task_ids)`` to the exact
+    candidate rows last solved and the solution found (including *None*
+    for "no full staffing"), so repeated failures are replayed too.
+    """
+
+    __slots__ = ("_instance", "_entries")
+
+    def __init__(self) -> None:
+        self._instance: Optional[ProblemInstance] = None
+        self._entries: Dict[tuple, Tuple[tuple, Optional[Dict[int, int]]]] = {}
+
+    def bind(self, instance: ProblemInstance) -> None:
+        if self._instance is not instance:
+            self._instance = instance
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def max_bipartite_matching(
@@ -39,6 +85,7 @@ def match_task_set(
     checker: FeasibilityChecker,
     instance: ProblemInstance,
     method: Method = "hungarian",
+    memo: Optional[MatchMemo] = None,
 ) -> Optional[Dict[int, int]]:
     """Staff every task in ``task_ids`` with a distinct free worker.
 
@@ -50,6 +97,8 @@ def match_task_set(
         method: ``hungarian`` (paper's choice; also minimises total travel
             distance among full staffings) or ``hopcroft-karp``
             (cardinality only, faster).
+        memo: optional warm-start memo; identical repeat queries replay
+            the stored solution instead of re-running the solver.
 
     Returns:
         ``{task_id: worker_id}`` covering *all* tasks, or None when no full
@@ -59,12 +108,34 @@ def match_task_set(
     if not task_ids:
         return {}
     free = set(free_workers)
-    candidates: List[List[int]] = []
-    for tid in task_ids:
-        workers = [wid for wid in checker.workers_of(tid) if wid in free]
-        if not workers:
-            return None
-        candidates.append(workers)
+    candidates: List[List[int]] = [
+        [wid for wid in checker.workers_of(tid) if wid in free] for tid in task_ids
+    ]
+
+    if memo is None:
+        return _solve(task_ids, candidates, instance, method)
+
+    memo.bind(instance)
+    key = (method, tuple(task_ids))
+    fingerprint = tuple(map(tuple, candidates))
+    entry = memo._entries.get(key)
+    if entry is not None and entry[0] == fingerprint:
+        _WARM.value += 1
+        solution = entry[1]
+        return None if solution is None else dict(solution)
+    solution = _solve(task_ids, candidates, instance, method)
+    memo._entries[key] = (fingerprint, None if solution is None else dict(solution))
+    return solution
+
+
+def _solve(
+    task_ids: List[int],
+    candidates: List[List[int]],
+    instance: ProblemInstance,
+    method: Method,
+) -> Optional[Dict[int, int]]:
+    if any(not workers for workers in candidates):
+        return None
 
     if method == "hopcroft-karp":
         adjacency = {i: candidates[i] for i in range(len(task_ids))}

@@ -3,12 +3,20 @@
 Left vertices are ``0..n_left-1``; adjacency maps each left vertex to its
 right-side neighbours (arbitrary hashable right ids are fine — they are
 remapped internally).
+
+The layered DFS uses an explicit stack (augmenting paths on 100k-row
+matchings are longer than CPython's recursion limit), and callers that
+solve a *sequence* of similar problems can pass the previous solution via
+``initial=`` — valid pairs are pre-matched and only the delta is repaired
+with augmenting paths, which costs fewer BFS phases than solving from
+scratch.  Stale seed entries (vertices gone, edges pruned, conflicts) are
+silently skipped, so callers may hand over the previous matching verbatim.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple, TypeVar
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.obs.metrics import REGISTRY
 
@@ -24,10 +32,18 @@ _PHASES = REGISTRY.counter(
 _PATHS = REGISTRY.counter(
     "matching_hk_augmenting_paths", "Hopcroft-Karp augmenting paths applied"
 )
+#: Shared across matching backends (Hungarian registers the same name):
+#: total augment rounds — the work a warm start saves shows up here.
+_ROUNDS = REGISTRY.counter(
+    "matching_augment_rounds",
+    "Matching augment rounds across backends (HK BFS phases + Hungarian rows)",
+)
 
 
 def hopcroft_karp(
-    adjacency: Mapping[int, Sequence[R]], n_left: int
+    adjacency: Mapping[int, Sequence[R]],
+    n_left: int,
+    initial: Optional[Mapping[int, R]] = None,
 ) -> Tuple[Dict[int, R], Dict[R, int]]:
     """Compute a maximum matching.
 
@@ -35,6 +51,13 @@ def hopcroft_karp(
         adjacency: for each left vertex id in ``0..n_left-1``, the right
             vertices it may match (missing keys mean no edges).
         n_left: number of left vertices.
+        initial: an optional warm-start matching (``left -> right``), e.g.
+            the previous solution of a slowly-changing problem.  Entries
+            that are invalid *now* — left out of range, right unknown,
+            edge absent, either side already taken — are skipped; the
+            survivors are pre-matched and repaired to maximality.  The
+            result is always a maximum matching, though with a seed it may
+            be a *different* maximum matching than the cold solve finds.
 
     Returns:
         ``(left_to_right, right_to_left)`` dictionaries describing one
@@ -56,6 +79,16 @@ def hopcroft_karp(
     match_r: List[int] = [-1] * len(rights)
     dist: List[float] = [0.0] * n_left
 
+    if initial:
+        for left, right in initial.items():
+            if not 0 <= left < n_left or match_l[left] != -1:
+                continue
+            idx = right_index.get(right)
+            if idx is None or match_r[idx] != -1 or idx not in adj[left]:
+                continue
+            match_l[left] = idx
+            match_r[idx] = left
+
     def bfs() -> bool:
         queue: deque[int] = deque()
         for left in range(n_left):
@@ -76,14 +109,43 @@ def hopcroft_karp(
                     queue.append(nxt)
         return reachable_free
 
-    def dfs(left: int) -> bool:
-        for right in adj[left]:
-            nxt = match_r[right]
-            if nxt == -1 or (dist[nxt] == dist[left] + 1.0 and dfs(nxt)):
-                match_l[left] = right
-                match_r[right] = left
-                return True
-        dist[left] = _INF
+    def dfs(root: int) -> bool:
+        # Explicit-stack layered DFS: frames[i] is a left vertex, pos[i]
+        # its next edge index, chosen[i] the right taken to reach
+        # frames[i + 1].  Same traversal order as the recursive form, so
+        # cold results are unchanged.
+        frames = [root]
+        pos = [0]
+        chosen: List[int] = []
+        while frames:
+            left = frames[-1]
+            edges = adj[left]
+            i = pos[-1]
+            descended = False
+            while i < len(edges):
+                right = edges[i]
+                i += 1
+                nxt = match_r[right]
+                if nxt == -1:
+                    chosen.append(right)
+                    for lvert, rvert in zip(frames, chosen):
+                        match_l[lvert] = rvert
+                        match_r[rvert] = lvert
+                    return True
+                if dist[nxt] == dist[left] + 1.0:
+                    pos[-1] = i
+                    chosen.append(right)
+                    frames.append(nxt)
+                    pos.append(0)
+                    descended = True
+                    break
+            if descended:
+                continue
+            dist[left] = _INF
+            frames.pop()
+            pos.pop()
+            if chosen:
+                chosen.pop()
         return False
 
     phases = 0
@@ -95,6 +157,7 @@ def hopcroft_karp(
                 augmented += 1
     _PHASES.value += phases
     _PATHS.value += augmented
+    _ROUNDS.value += phases
 
     left_to_right = {
         left: rights[match_l[left]] for left in range(n_left) if match_l[left] != -1

@@ -23,6 +23,12 @@ _PATHS = REGISTRY.counter(
     "matching_hungarian_augmenting_paths",
     "Hungarian shortest augmenting paths computed (one per matrix row)",
 )
+#: Shared across matching backends (Hopcroft-Karp registers the same name):
+#: total augment rounds — the work a warm start saves shows up here.
+_ROUNDS = REGISTRY.counter(
+    "matching_augment_rounds",
+    "Matching augment rounds across backends (HK BFS phases + Hungarian rows)",
+)
 
 
 def hungarian(cost: Sequence[Sequence[float]]) -> Tuple[List[Optional[int]], float]:
@@ -62,6 +68,7 @@ def hungarian(cost: Sequence[Sequence[float]]) -> Tuple[List[Optional[int]], flo
     a = [[big if c == INFEASIBLE else float(c) for c in row] for row in cost]
 
     _PATHS.value += n
+    _ROUNDS.value += n
 
     # Potentials and matching arrays use 1-based internal indexing (the
     # classic formulation); p[0] tracks the row being inserted.

@@ -133,6 +133,83 @@ def attach_columns(
         shm.close()
 
 
+#: The packed kernel columns of a :class:`~repro.columnar.batch.ColumnarBatch`,
+#: in export order.  Deliberately excludes ``skill_table`` (kernels never
+#: read it; at scale it dwarfs the columns) and the id lists (small,
+#: picklable, shipped on the handle).
+BATCH_COLUMNS = (
+    "wx",
+    "wy",
+    "wstart",
+    "wdeadline",
+    "wvelocity",
+    "wmax_distance",
+    "wskills",
+    "tx",
+    "ty",
+    "tstart",
+    "tdeadline",
+    "tskill_word",
+    "tskill_bitmask",
+)
+
+
+class BatchHandle(NamedTuple):
+    """Picklable description of an exported :class:`ColumnarBatch`.
+
+    Carries the column-block handle plus the scalar shape fields and the
+    id lists — everything a worker needs to rebuild a kernel-ready batch,
+    minus the interning table.
+    """
+
+    columns: ColumnHandle
+    n_workers: int
+    n_tasks: int
+    n_skill_words: int
+    worker_ids: Tuple[int, ...]
+    task_ids: Tuple[int, ...]
+
+
+def export_batch(batch) -> Tuple[SharedColumns, BatchHandle]:
+    """Copy a batch's packed columns into shared memory.
+
+    Returns the parent-owned :class:`SharedColumns` (caller must
+    :meth:`~SharedColumns.unlink`) and the picklable :class:`BatchHandle`
+    to ship to workers.  Raises like :func:`export_columns`.
+    """
+    block = export_columns([getattr(batch, name) for name in BATCH_COLUMNS])
+    handle = BatchHandle(
+        block.handle,
+        batch.n_workers,
+        batch.n_tasks,
+        batch.n_skill_words,
+        tuple(batch.worker_ids),
+        tuple(batch.task_ids),
+    )
+    return block, handle
+
+
+def attach_batch(handle: BatchHandle):
+    """Rebuild a kernel-ready :class:`ColumnarBatch` from a handle.
+
+    The batch carries ``skill_table=None`` — kernels only read the packed
+    masks, so the table never crosses the process boundary.
+    """
+    from repro.columnar.batch import ColumnarBatch
+
+    columns = attach_columns(handle.columns)
+    batch = ColumnarBatch.__new__(ColumnarBatch)
+    batch.n_workers = handle.n_workers
+    batch.n_tasks = handle.n_tasks
+    batch.n_skill_words = handle.n_skill_words
+    batch.skill_table = None
+    for name, column in zip(BATCH_COLUMNS, columns):
+        setattr(batch, name, column)
+    batch.worker_ids = list(handle.worker_ids)
+    batch.task_ids = list(handle.task_ids)
+    return batch
+
+
 def _attach(name: str):
     # Python 3.13+ lets an attaching process opt out of the resource
     # tracker (the parent owns the unlink); older versions take no keyword.

@@ -1,9 +1,16 @@
 """Task-set staffing tests."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.constraints import FeasibilityChecker
-from repro.matching.bipartite import match_task_set, max_bipartite_matching
+from repro.matching.bipartite import (
+    MatchMemo,
+    _WARM,
+    match_task_set,
+    max_bipartite_matching,
+)
 
 
 class TestMaxBipartiteMatching:
@@ -64,3 +71,61 @@ class TestMatchTaskSet:
     def test_unknown_method_rejected(self, checker, example1):
         with pytest.raises(ValueError, match="unknown matching method"):
             match_task_set([1], {1}, checker, example1, method="magic")
+
+
+class TestMatchMemo:
+    @pytest.fixture
+    def checker(self, example1):
+        return FeasibilityChecker(example1.workers, example1.tasks)
+
+    def test_replay_returns_identical_staffing(self, checker, example1):
+        memo = MatchMemo()
+        cold = match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        before = _WARM.value
+        warm = match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        assert warm == cold
+        assert _WARM.value == before + 1
+
+    def test_replay_returns_copies_not_aliases(self, checker, example1):
+        memo = MatchMemo()
+        match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        first = match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        second = match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        assert first == second and first is not second
+        first[1] = 999  # mutating a replay must not poison the memo
+        assert match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo) == second
+
+    def test_infeasible_result_is_memoised_too(self, checker, example1):
+        memo = MatchMemo()
+        assert match_task_set([1, 2, 3], {1, 2, 3}, checker, example1, memo=memo) is None
+        before = _WARM.value
+        assert match_task_set([1, 2, 3], {1, 2, 3}, checker, example1, memo=memo) is None
+        assert _WARM.value == before + 1
+
+    def test_changed_free_pool_forces_a_fresh_solve(self, checker, example1):
+        memo = MatchMemo()
+        assert match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo) is not None
+        before = _WARM.value
+        # Same task set, but the candidate rows differ -> fingerprint miss.
+        assert match_task_set([1, 2], {1, 2}, checker, example1, memo=memo) is None
+        assert _WARM.value == before
+
+    def test_method_is_part_of_the_key(self, checker, example1):
+        memo = MatchMemo()
+        match_task_set([1, 2], {1, 2, 3}, checker, example1, method="hungarian", memo=memo)
+        before = _WARM.value
+        match_task_set(
+            [1, 2], {1, 2, 3}, checker, example1, method="hopcroft-karp", memo=memo
+        )
+        assert _WARM.value == before
+        assert len(memo) == 2
+
+    def test_bind_to_new_instance_clears_entries(self, checker, example1):
+        memo = MatchMemo()
+        match_task_set([1, 2], {1, 2, 3}, checker, example1, memo=memo)
+        assert len(memo) == 1
+        memo.bind(example1)  # same instance: entries survive
+        assert len(memo) == 1
+        other = replace(example1)
+        memo.bind(other)
+        assert len(memo) == 0

@@ -91,3 +91,72 @@ class TestAgainstReference:
         adjacency = {i: [i, i + 1] for i in range(n)}
         left, _ = hopcroft_karp(adjacency, n)
         assert len(left) == n
+
+
+class TestDeepGraphs:
+    def test_deep_augmenting_chain_stays_iterative(self):
+        # One augmenting path threading thousands of alternating layers:
+        # left 0 is free, right n is free, and everything between is a
+        # matched zig-zag the DFS must walk end to end.  A recursive DFS
+        # blows the default interpreter recursion limit here; the explicit
+        # stack must not.
+        n = 5000
+        adjacency = {0: [1]}
+        adjacency.update({i: [i, i + 1] for i in range(1, n)})
+        initial = {i: i for i in range(1, n)}
+        left, right = hopcroft_karp(adjacency, n, initial=initial)
+        assert len(left) == n  # the long path was augmented
+        assert left[0] == 1
+        assert right[n] == n - 1
+
+    def test_deep_chain_cold_matches_seeded_cardinality(self):
+        n = 5000
+        adjacency = {0: [1]}
+        adjacency.update({i: [i, i + 1] for i in range(1, n)})
+        cold, _ = hopcroft_karp(adjacency, n)
+        assert len(cold) == n
+
+
+class TestInitialSeeding:
+    def test_valid_seed_is_kept(self):
+        adjacency = {0: ["a", "b"], 1: ["a"]}
+        left, right = hopcroft_karp(adjacency, 2, initial={0: "b", 1: "a"})
+        assert left == {0: "b", 1: "a"}
+        assert right == {"a": 1, "b": 0}
+
+    def test_invalid_seeds_are_dropped_not_fatal(self):
+        adjacency = {0: ["a"], 1: ["a", "b"]}
+        initial = {
+            7: "a",  # left vertex out of range
+            0: "zzz",  # right id unknown to the graph
+            1: "b",  # valid
+        }
+        left, _ = hopcroft_karp(adjacency, 2, initial=initial)
+        assert len(left) == 2  # still maximum
+        assert left[1] == "b"
+
+    def test_non_adjacent_seed_is_dropped(self):
+        adjacency = {0: ["a"], 1: ["b"]}
+        left, _ = hopcroft_karp(adjacency, 2, initial={0: "b"})
+        assert left == {0: "a", 1: "b"}
+
+    def test_conflicting_seeds_keep_first_come(self):
+        adjacency = {0: ["a"], 1: ["a"]}
+        left, right = hopcroft_karp(adjacency, 2, initial={0: "a", 1: "a"})
+        assert len(left) == 1
+        assert right["a"] in (0, 1)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_stale_seeds_never_change_cardinality(self, seed):
+        rng = random.Random(seed)
+        n_left = rng.randint(1, 10)
+        n_right = rng.randint(1, 10)
+        adjacency = {
+            i: [j for j in range(n_right) if rng.random() < 0.4]
+            for i in range(n_left)
+        }
+        # A deliberately stale/garbage seed built from a different graph.
+        initial = {i: rng.randrange(n_right + 2) for i in range(n_left)}
+        seeded, _ = hopcroft_karp(adjacency, n_left, initial=initial)
+        cold, _ = hopcroft_karp(adjacency, n_left)
+        assert len(seeded) == len(cold) == reference_max_matching(adjacency, n_left)

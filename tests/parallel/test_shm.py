@@ -14,7 +14,10 @@ import pytest
 
 from repro.parallel.feasibility import chunk_bounds, evaluate_pairs
 from repro.parallel.shm import (
+    BATCH_COLUMNS,
+    attach_batch,
     attach_columns,
+    export_batch,
     export_columns,
     handoff_bytes_saved,
     shm_available,
@@ -160,3 +163,95 @@ class TestEvaluatePairsShmPath:
         pairs = self._pairs(64)
         fanned = evaluate_pairs(metric, pairs, n_jobs=2)
         assert fanned == {pair: metric(*pair) for pair in pairs}
+
+
+def _entities(n_workers=7, n_tasks=11, seed=12):
+    import random
+
+    from repro.core.task import Task
+    from repro.core.worker import Worker
+
+    rng = random.Random(seed)
+    workers = [
+        Worker(
+            id=i,
+            location=(rng.uniform(0, 50), rng.uniform(0, 50)),
+            start=0.0,
+            wait=100.0,
+            velocity=1.0 + rng.random(),
+            max_distance=20.0,
+            skills=frozenset(rng.sample(range(8), 3)),
+        )
+        for i in range(n_workers)
+    ]
+    tasks = [
+        Task(
+            id=100 + i,
+            location=(rng.uniform(0, 50), rng.uniform(0, 50)),
+            start=0.0,
+            wait=80.0,
+            skill=rng.randrange(8),
+        )
+        for i in range(n_tasks)
+    ]
+    return workers, tasks
+
+
+class TestBatchHandoff:
+    def test_round_trip_is_bit_identical_without_the_table(self):
+        from repro.columnar.batch import ColumnarBatch
+
+        workers, tasks = _entities()
+        batch = ColumnarBatch.from_entities(workers, tasks)
+        block, handle = export_batch(batch)
+        try:
+            clone = attach_batch(handle)
+            assert clone.skill_table is None  # the table never ships
+            assert clone.n_workers == batch.n_workers
+            assert clone.n_tasks == batch.n_tasks
+            assert clone.n_skill_words == batch.n_skill_words
+            assert clone.worker_ids == batch.worker_ids
+            assert clone.task_ids == batch.task_ids
+            for name in BATCH_COLUMNS:
+                assert (
+                    getattr(clone, name).tobytes() == getattr(batch, name).tobytes()
+                ), name
+        finally:
+            block.unlink()
+
+    def test_attached_batch_feeds_the_kernels(self):
+        from repro.columnar.batch import ColumnarBatch
+        from repro.columnar.kernels import feasible_pairs
+
+        workers, tasks = _entities()
+        batch = ColumnarBatch.from_entities(workers, tasks)
+        widx = [w for w in range(batch.n_workers) for _ in range(batch.n_tasks)]
+        tidx = list(range(batch.n_tasks)) * batch.n_workers
+        expected = feasible_pairs(batch, widx, tidx, 0.0, "euclidean")
+        block, handle = export_batch(batch)
+        try:
+            clone = attach_batch(handle)
+            got = feasible_pairs(clone, widx, tidx, 0.0, "euclidean")
+            assert got[0] == expected[0]
+            assert got[1] == expected[1]
+            assert got[2] == expected[2]
+        finally:
+            block.unlink()
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        from repro.columnar.batch import ColumnarBatch
+
+        workers, tasks = _entities(n_workers=40, n_tasks=60)
+        batch = ColumnarBatch.from_entities(workers, tasks)
+        block, handle = export_batch(batch)
+        try:
+            wire = pickle.dumps(handle)
+            # The whole point: the wire format must not scale with the
+            # skill table (which a naive batch pickle would drag along).
+            assert len(wire) < 4096
+            clone = attach_batch(pickle.loads(wire))
+            assert clone.worker_ids == batch.worker_ids
+        finally:
+            block.unlink()

@@ -1,0 +1,219 @@
+"""Property tests for the persistent column store and warm-start matching.
+
+Two contracts are pinned here:
+
+1. **Store/rebuild equivalence.**  After *any* interleaving of arrivals,
+   in-place updates, and departures, a :class:`ColumnStore` view must be
+   indistinguishable from a fresh :class:`ColumnarBatch` built from the
+   same live population: scalar columns byte-for-byte, and kernel
+   verdicts/distances bitwise on every available backend.  (Mask *bytes*
+   may differ — the store interns skills append-only while a fresh batch
+   sorts its batch-local universe — so skill equality is pinned through
+   the kernels, which is what the engine consumes.)
+
+2. **Warm/cold matching equivalence.**  Replaying a randomized query
+   stream through :func:`match_task_set` with a :class:`MatchMemo` must
+   produce exactly the results of the memo-less run, feasible or not.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import (
+    ColumnStore,
+    ColumnarBatch,
+    available_backends,
+    feasible_pairs,
+)
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.matching.bipartite import MatchMemo, match_task_set
+
+BACKENDS = available_backends()
+SCALARS = (
+    "wx",
+    "wy",
+    "wstart",
+    "wdeadline",
+    "wvelocity",
+    "wmax_distance",
+    "tx",
+    "ty",
+    "tstart",
+    "tdeadline",
+)
+
+
+def _worker(rng, wid):
+    return Worker(
+        id=wid,
+        location=(rng.uniform(0, 5), rng.uniform(0, 5)),
+        start=rng.uniform(0, 3),
+        wait=rng.uniform(1, 10),
+        velocity=0.0 if rng.random() < 0.15 else rng.uniform(0.2, 2.0),
+        max_distance=rng.uniform(0.0, 6.0),
+        skills=frozenset(rng.sample(range(90), rng.randint(0, 3))),
+    )
+
+
+def _task(rng, tid):
+    return Task(
+        id=tid,
+        location=(rng.uniform(0, 5), rng.uniform(0, 5)),
+        start=rng.uniform(0, 3),
+        wait=rng.uniform(1, 10),
+        skill=rng.randrange(90),  # >64 ids in play -> multi-word masks
+    )
+
+
+def _assert_view_equivalent(view, workers, tasks):
+    fresh = ColumnarBatch(workers, tasks)
+    assert view.n_workers == fresh.n_workers
+    assert view.n_tasks == fresh.n_tasks
+    assert view.worker_ids == fresh.worker_ids
+    assert view.task_ids == fresh.task_ids
+    for name in SCALARS:
+        assert getattr(view, name).tobytes() == getattr(fresh, name).tobytes(), name
+    if not workers or not tasks:
+        return
+    widx = [i for i in range(len(workers)) for _ in range(len(tasks))]
+    tidx = list(range(len(tasks))) * len(workers)
+    for backend in BACKENDS:
+        got = feasible_pairs(view, widx, tidx, 0.0, "euclidean", backend=backend)
+        want = feasible_pairs(fresh, widx, tidx, 0.0, "euclidean", backend=backend)
+        assert got[0] == want[0]
+        assert got[1] == want[1]
+        assert list(got[2]) == list(want[2])
+
+
+@given(st.integers(0, 10_000_000), st.integers(3, 40))
+@settings(max_examples=60, deadline=None)
+def test_store_view_matches_fresh_batch_after_any_script(seed, n_ops):
+    """Interleaved arrive/update/depart scripts never desync the store."""
+    rng = random.Random(seed)
+    store = ColumnStore()
+    workers = {}
+    tasks = {}
+    next_wid, next_tid = 0, 1000
+    for _ in range(n_ops):
+        op = rng.randrange(6)
+        if op == 0 or not workers and op in (2, 4):
+            workers[next_wid] = _worker(rng, next_wid)
+            next_wid += 1
+        elif op == 1 or not tasks and op in (3, 5):
+            tasks[next_tid] = _task(rng, next_tid)
+            next_tid += 1
+        elif op == 2:  # relocate/update a worker in place
+            wid = rng.choice(list(workers))
+            workers[wid] = _worker(rng, wid)
+        elif op == 3:  # update a task in place
+            tid = rng.choice(list(tasks))
+            tasks[tid] = _task(rng, tid)
+        elif op == 4:  # worker departs (slot goes on the free list)
+            wid = rng.choice(list(workers))
+            del workers[wid]
+            store.remove_worker(wid)
+        else:  # task completes/expires
+            tid = rng.choice(list(tasks))
+            del tasks[tid]
+            store.remove_task(tid)
+        live_w = list(workers.values())
+        live_t = list(tasks.values())
+        store.sync(live_w, live_t)
+        # Alternate full and random-subset views so gather paths both run.
+        if rng.random() < 0.5:
+            view_w, view_t = live_w, live_t
+        else:
+            view_w = [w for w in live_w if rng.random() < 0.7]
+            view_t = [t for t in live_t if rng.random() < 0.7]
+        _assert_view_equivalent(store.view(view_w, view_t), view_w, view_t)
+
+
+@given(st.integers(0, 10_000_000))
+@settings(max_examples=40, deadline=None)
+def test_resynced_store_forgets_nothing(seed):
+    """Syncing the same population repeatedly touches zero rows."""
+    rng = random.Random(seed)
+    store = ColumnStore()
+    workers = [_worker(rng, i) for i in range(rng.randint(1, 12))]
+    tasks = [_task(rng, 100 + i) for i in range(rng.randint(1, 12))]
+    assert store.sync(workers, tasks) == len(workers) + len(tasks)
+    for _ in range(3):
+        assert store.sync(workers, tasks) == 0
+        # Value-equal copies must be adopted without repacking either.
+        clones_w = [Worker(**{f: getattr(w, f) for f in (
+            "id", "location", "start", "wait", "velocity",
+            "max_distance", "skills")}) for w in workers]
+        assert store.sync(clones_w, tasks) == 0
+    _assert_view_equivalent(store.view(workers, tasks), workers, tasks)
+
+
+class _ScriptedChecker:
+    """Feasibility oracle with arbitrary pinned candidate rows."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def workers_of(self, task_id):
+        return self._rows.get(task_id, [])
+
+
+def _matching_universe(rng):
+    """A tiny instance plus a randomized candidate table over it."""
+    workers = [
+        Worker(
+            id=i,
+            location=(rng.uniform(0, 4), rng.uniform(0, 4)),
+            start=0.0,
+            wait=100.0,
+            velocity=1.0,
+            max_distance=50.0,
+            skills=frozenset({0}),
+        )
+        for i in range(5)
+    ]
+    tasks = [
+        Task(
+            id=100 + j,
+            location=(rng.uniform(0, 4), rng.uniform(0, 4)),
+            start=0.0,
+            wait=100.0,
+            skill=0,
+        )
+        for j in range(6)
+    ]
+    from repro.core.instance import ProblemInstance
+    from repro.core.skills import SkillUniverse
+
+    instance = ProblemInstance(workers, tasks, SkillUniverse(1))
+    rows = {
+        t.id: sorted(rng.sample(range(5), rng.randint(0, 4))) for t in tasks
+    }
+    return instance, tasks, _ScriptedChecker(rows)
+
+
+@given(st.integers(0, 10_000_000), st.sampled_from(["hungarian", "hopcroft-karp"]))
+@settings(max_examples=50, deadline=None)
+def test_warm_matching_replays_the_cold_run_exactly(seed, method):
+    rng = random.Random(seed)
+    instance, tasks, checker = _matching_universe(rng)
+    queries = []
+    for _ in range(rng.randint(2, 8)):
+        picked = rng.sample(tasks, rng.randint(1, 4))
+        free = set(rng.sample(range(5), rng.randint(1, 5)))
+        queries.append(([t.id for t in picked], free))
+    # Repeat the stream so the memo actually gets warm hits.
+    stream = queries * 3
+    cold = [
+        match_task_set(tids, free, checker, instance, method=method)
+        for tids, free in stream
+    ]
+    memo = MatchMemo()
+    warm = [
+        match_task_set(tids, free, checker, instance, method=method, memo=memo)
+        for tids, free in stream
+    ]
+    assert warm == cold
+    assert len(memo) <= len(queries) * 1  # one entry per distinct query
