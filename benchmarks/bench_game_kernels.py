@@ -1,0 +1,160 @@
+"""Columnar game kernels: same equilibrium, a fraction of the interpreter work.
+
+The 500-worker / 500-task ``bench_game`` batch runs through the incremental
+``DASC_Game`` twice: with the per-candidate scalar utility loop and with the
+vectorised candidate-utility sweeps.  The assignment, score, round count and
+every ``engine_stats`` counter must match exactly — the kernels' bit-identity
+contract — while the auxiliary counters must show at least a 5x drop in
+interpreter-level per-candidate utility evaluations
+(``engine_game_scalar_evals``).  The gate is counter arithmetic, so the
+verdict is independent of host CPU count or load; wall times are recorded
+alongside for the trajectory file.
+"""
+
+import time
+
+from repro.algorithms.game import DASCGame
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.engine.context import BatchContext
+from repro.engine.counters import EngineCounters
+
+#: 500x500 at default density (the bench_game acceptance workload).
+_SCALE = 0.1
+_SEED = 7
+_MIN_SCALAR_RATIO = 5.0
+
+GAME_KERNEL_CONFIG = {
+    "instance": f"synthetic seed={_SEED} scale={_SCALE} (500x500)",
+    "approach": "Game",
+    "threshold": 0.0,
+    "alpha": 10.0,
+    "family": "repro.bench/game_kernels/v1",
+}
+
+AUX = ("game_kernel_sweeps", "game_kernel_candidates", "game_scalar_evals")
+
+
+def make_kernel_instance():
+    return generate_synthetic(SyntheticConfig(seed=_SEED).scaled(_SCALE))
+
+
+def run_game_kernels(instance, enabled: bool):
+    """One standalone-batch Game allocation with the kernels forced.
+
+    Returns ``(outcome, engine_stats, aux, wall_ms)`` — the context is built
+    with its own :class:`EngineCounters` so the auxiliary
+    ``engine_game_kernel_*`` group is readable (outcome stats deliberately
+    never carry it; the report may not reveal which path ran).
+    """
+    counters = EngineCounters()
+    context = BatchContext(
+        instance.workers,
+        instance.tasks,
+        instance,
+        instance.earliest_start,
+        counters=counters,
+    )
+    game = DASCGame(seed=_SEED, incremental=True, use_game_kernels=enabled)
+    started = time.perf_counter()
+    outcome = game.allocate(context)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    aux = {key: counters.aux_dict()[f"engine_{key}"] for key in AUX}
+    return outcome, counters.as_dict(), aux, wall_ms
+
+
+def assert_outcomes_identical(on, off, on_stats, off_stats):
+    """The exactness precondition of the perf claim, shared with the gate."""
+    assert sorted(on.assignment.pairs()) == sorted(off.assignment.pairs())
+    assert on.assignment.score == off.assignment.score
+    assert on.stats == off.stats
+    assert on_stats == off_stats
+
+
+def scalar_eval_ratio(on_aux, off_aux) -> float:
+    return off_aux["game_scalar_evals"] / max(on_aux["game_scalar_evals"], 1.0)
+
+
+def test_game_kernels_500(record_bench_json):
+    instance = make_kernel_instance()
+    off, off_stats, off_aux, off_ms = run_game_kernels(instance, enabled=False)
+    on, on_stats, on_aux, on_ms = run_game_kernels(instance, enabled=True)
+
+    # Bit-identity first: the sweep savings are worthless if the answer,
+    # the counter trajectory or the report moved.
+    assert_outcomes_identical(on, off, on_stats, off_stats)
+
+    # The workload must clear the engagement floor (sum_w |S_w| >=
+    # GAME_KERNEL_MIN_PAIRS) or the on-run silently measures nothing.
+    assert on_aux["game_kernel_sweeps"] > 0
+    # With the kernels off every candidate is an interpreter-level eval.
+    assert off_aux["game_scalar_evals"] == off.stats["evaluations"]
+
+    ratio = scalar_eval_ratio(on_aux, off_aux)
+    coverage = on_aux["game_kernel_candidates"] / max(off.stats["evaluations"], 1.0)
+    speedup = off_ms / on_ms if on_ms > 0.0 else 0.0
+
+    record_bench_json(
+        "game_kernels_500",
+        GAME_KERNEL_CONFIG,
+        on_ms,
+        {
+            "rounds": on.stats["rounds"],
+            "evaluations": on.stats["evaluations"],
+            "kernel_sweeps": on_aux["game_kernel_sweeps"],
+            "kernel_candidates": on_aux["game_kernel_candidates"],
+            "kernel_scalar_evals": on_aux["game_scalar_evals"],
+            "scalar_path_evals": off_aux["game_scalar_evals"],
+            "kernel_coverage": round(coverage, 4),
+            "scalar_eval_ratio": round(ratio, 3),
+            "scalar_wall_ms": round(off_ms, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
+
+    # The acceptance bar: >=5x fewer interpreter-level per-candidate
+    # utility evaluations, measured by counters so the verdict is
+    # independent of host CPU count or load.
+    assert ratio >= _MIN_SCALAR_RATIO, (
+        f"expected >={_MIN_SCALAR_RATIO}x fewer interpreter-level utility "
+        f"evaluations, got {ratio:.2f}x ({off_aux['game_scalar_evals']:.0f} "
+        f"scalar-path vs {on_aux['game_scalar_evals']:.0f} kernel-path)"
+    )
+
+
+def test_game_variants_and_backends_identical_at_bench_scale():
+    """Game-5% / G-G configs and the pure-python backend, kernels on/off."""
+    import repro.columnar.kernels as kernels
+
+    instance = make_kernel_instance()
+    for kwargs in (
+        dict(threshold=0.05, init="random"),
+        dict(threshold=0.0, init="greedy"),
+    ):
+        outcomes = {}
+        for enabled in (False, True):
+            counters = EngineCounters()
+            context = BatchContext(
+                instance.workers,
+                instance.tasks,
+                instance,
+                instance.earliest_start,
+                counters=counters,
+            )
+            game = DASCGame(
+                seed=_SEED, incremental=True, use_game_kernels=enabled, **kwargs
+            )
+            outcomes[enabled] = (game.allocate(context), counters.as_dict())
+        on, on_stats = outcomes[True]
+        off, off_stats = outcomes[False]
+        assert_outcomes_identical(on, off, on_stats, off_stats)
+
+    # Fallback backend: same answer, same counters, no numpy.
+    saved = kernels._np
+    kernels._np = None
+    try:
+        fallback_on, fb_stats, fb_aux, _ = run_game_kernels(instance, enabled=True)
+    finally:
+        kernels._np = saved
+    numpy_on, np_stats, np_aux, _ = run_game_kernels(instance, enabled=True)
+    assert_outcomes_identical(fallback_on, numpy_on, fb_stats, np_stats)
+    assert fb_aux == np_aux

@@ -117,9 +117,24 @@ class GameState:
         self._unassigned_deps: Dict[int, int] = {}
         #: task -> memoised hypothetical value ``q(t | a_t = 1)``.
         self._value_cache: Dict[int, float] = {}
+        #: optional :class:`repro.columnar.game_kernels.GameColumns` mirror
+        #: kept in sync by ``set_choice`` / ``_flip`` (the kernels' dirty
+        #: delta); None leaves the scalar hot path untouched.
+        self._columns = None
         self.evaluations = 0
         self.value_recomputes = 0
         self.cache_hits = 0
+
+    def attach_columns(self, columns) -> None:
+        """Install (or with None remove) a column mirror of this profile.
+
+        The mirror's valid-bit overlay must start all-clear: the invariant
+        maintained here is *one-directional* (a set bit implies the memo
+        holds that task's value, bit-equal) — scalar evaluations may fill
+        the memo without setting bits, which sweeps later repair through
+        :meth:`_hypothetical_value`'s own hit classification.
+        """
+        self._columns = columns
 
     # -- profile mutation -----------------------------------------------------------
 
@@ -147,6 +162,12 @@ class GameState:
             if count == 0 and task_id not in self.prev:
                 self._flip(task_id, became_assigned=True)
         self.choice[worker_id] = task_id
+        columns = self._columns
+        if columns is not None:
+            if old is not None:
+                columns.sync_count(old, self.nw.get(old, 0))
+            if task_id is not None:
+                columns.sync_count(task_id, self.nw[task_id])
 
     def _flip(self, task_id: int, became_assigned: bool) -> None:
         """Indicator ``a_task_id`` flipped: patch counts, drop stale values.
@@ -163,9 +184,19 @@ class GameState:
             if dependent in counts:
                 counts[dependent] += delta
         cache = self._value_cache
-        for affected in graph.influence_set(task_id):
-            if affected in cache:
-                del cache[affected]
+        columns = self._columns
+        if columns is None:
+            for affected in graph.influence_set(task_id):
+                if affected in cache:
+                    del cache[affected]
+        else:
+            # A cleared valid bit must accompany every memo eviction; tasks
+            # outside the cache cannot carry a set bit (the overlay
+            # invariant), so the same membership test gates both.
+            for affected in graph.influence_set(task_id):
+                if affected in cache:
+                    del cache[affected]
+                    columns.invalidate(affected)
 
     # -- indicators -------------------------------------------------------------------
 
@@ -306,14 +337,15 @@ class GameState:
         scheduler survive a full best-response sweep untouched.
         """
         self.evaluations += 1
+        nw = self.nw
         current = self.choice[worker_id]
-        crowd = self.nw.get(task_id, 0) + 1
+        crowd = nw.get(task_id, 0) + 1
         if current is not None:
             if current == task_id:
                 # A task's hypothetical value never reads its own indicator,
                 # so the global memo is exact even for the sole chooser.
                 return self._hypothetical_value(task_id) / (crowd - 1)
-            if self.nw[current] == 1 and current not in self.prev:
+            if nw[current] == 1 and current not in self.prev:
                 if task_id in self.graph.influence_frozenset(current):
                     return self._masked_value(task_id, current) / crowd
         return self._hypothetical_value(task_id) / crowd
@@ -348,10 +380,20 @@ class GameState:
     # -- potentials ------------------------------------------------------------------------
 
     def potential(self) -> float:
-        """Harmonic exact potential ``Phi(S) = sum_t q(t) * H(nw_t)``."""
-        return sum(
-            self.task_value(tid) * harmonic(count) for tid, count in self.nw.items()
-        )
+        """Harmonic exact potential ``Phi(S) = sum_t q(t) * H(nw_t)``.
+
+        ``H(nw_t)`` is read straight off the memoised prefix (grown once
+        when a count exceeds it) instead of through per-term :func:`harmonic`
+        calls — same floats, the prefix *is* what ``harmonic`` returns.
+        """
+        prefix = _HARMONIC
+        task_value = self.task_value
+        total = 0.0
+        for tid, count in self.nw.items():
+            if count >= len(prefix):
+                harmonic(count)
+            total += task_value(tid) * prefix[count]
+        return total
 
     def potential_paper(self) -> float:
         """The paper's printed potential, after its own simplification step.

@@ -48,11 +48,31 @@ class MatchMemo:
     and task records.  Entries map ``(method, task_ids)`` to the exact
     candidate rows last solved and the solution found (including *None*
     for "no full staffing"), so repeated failures are replayed too.
+
+    Args:
+        maxsize: optional entry bound; None keeps the historic unbounded
+            behaviour (the :class:`~repro.spatial.cache.CachedMetric`
+            convention).  Bounding only changes *which* queries warm-start
+            — an evicted entry simply re-solves cold, so results stay
+            bit-identical at any size.
+        policy: eviction order for bounded memos.  ``"fifo"`` (default)
+            evicts by insertion order — old entries belong to task sets
+            already staffed or expired; ``"lru"`` refreshes an entry's
+            position on every replay, better when a few contested sets are
+            re-queried across many batches.
     """
 
-    __slots__ = ("_instance", "_entries")
+    __slots__ = ("_instance", "_entries", "maxsize", "policy", "evictions", "_lru")
 
-    def __init__(self) -> None:
+    def __init__(self, maxsize: Optional[int] = None, policy: str = "fifo") -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        if policy not in ("fifo", "lru"):
+            raise ValueError(f"policy must be 'fifo' or 'lru', got {policy!r}")
+        self.maxsize = maxsize
+        self.policy = policy
+        self.evictions = 0
+        self._lru = policy == "lru"
         self._instance: Optional[ProblemInstance] = None
         self._entries: Dict[tuple, Tuple[tuple, Optional[Dict[int, int]]]] = {}
 
@@ -63,6 +83,27 @@ class MatchMemo:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _replayed(self, key: tuple) -> None:
+        """Bookkeeping after a warm replay: LRU refreshes the entry's age."""
+        if self._lru:
+            entries = self._entries
+            entries[key] = entries.pop(key)
+
+    def _store(self, key: tuple, entry: Tuple[tuple, Optional[Dict[int, int]]]) -> None:
+        """Insert an entry, evicting the oldest when at the bound."""
+        entries = self._entries
+        if self.maxsize is not None and key not in entries and len(entries) >= self.maxsize:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = entry
+
+    def aux_stats(self) -> Dict[str, float]:
+        """Size/eviction telemetry (aux-group style: not part of reports)."""
+        return {
+            "match_memo_entries": float(len(self._entries)),
+            "match_memo_evictions": float(self.evictions),
+        }
 
 
 def max_bipartite_matching(
@@ -121,10 +162,11 @@ def match_task_set(
     entry = memo._entries.get(key)
     if entry is not None and entry[0] == fingerprint:
         _WARM.value += 1
+        memo._replayed(key)
         solution = entry[1]
         return None if solution is None else dict(solution)
     solution = _solve(task_ids, candidates, instance, method)
-    memo._entries[key] = (fingerprint, None if solution is None else dict(solution))
+    memo._store(key, (fingerprint, None if solution is None else dict(solution)))
     return solution
 
 

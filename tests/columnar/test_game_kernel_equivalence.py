@@ -1,0 +1,155 @@
+"""Acceptance: game kernels on vs off is bit-identical end to end.
+
+The contract mirrors ``test_equivalence.py``'s for the feasibility kernels:
+``SimulationReport`` AND ``engine_stats`` must be byte-for-byte equal with
+the candidate-utility sweeps on or off, for every registered approach, on
+both backends, and under the sharded engine.  Only the auxiliary
+``engine_game_kernel_*`` / ``engine_game_scalar_evals`` counters may reveal
+which path ran.
+"""
+
+import pytest
+
+import repro.algorithms.game as game_mod
+import repro.algorithms.local_search as ls_mod
+from repro.algorithms.local_search import LocalSearchImprover
+from repro.algorithms.registry import APPROACH_NAMES, make_allocator
+from repro.columnar import set_default_game_kernels
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.simulation.platform import Platform
+
+AUX = ("game_kernel_sweeps", "game_kernel_candidates", "game_scalar_evals")
+GAME_APPROACHES = ("Game", "Game-5%", "G-G")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_synthetic(SyntheticConfig(seed=5).scaled(0.05))
+
+
+@pytest.fixture()
+def zero_floor(monkeypatch):
+    """Engage the kernels regardless of batch size (tiny test instances)."""
+    monkeypatch.setattr(game_mod, "GAME_KERNEL_MIN_PAIRS", 0)
+    monkeypatch.setattr(ls_mod, "GAME_KERNEL_MIN_PAIRS", 0)
+
+
+def _fallback_only(monkeypatch):
+    import repro.columnar.kernels as kernels
+
+    monkeypatch.setattr(kernels, "_np", None)
+
+
+def _run(instance, allocator, enabled, shards=1):
+    """One platform run under a process default of ``enabled``."""
+    previous = set_default_game_kernels(enabled)
+    try:
+        platform = Platform(
+            instance,
+            allocator,
+            batch_interval=5.0,
+            shards=shards,
+        )
+        report = platform.run()
+    finally:
+        set_default_game_kernels(previous)
+    registry = platform.metrics_registry
+    aux = {key: registry.counter(f"engine_{key}").value for key in AUX}
+    return report, aux
+
+
+def _assert_identical(on_report, off_report):
+    assert on_report.assignments == off_report.assignments
+    assert on_report.completion_times == off_report.completion_times
+    assert on_report.expired_tasks == off_report.expired_tasks
+    assert [b.score for b in on_report.batches] == [
+        b.score for b in off_report.batches
+    ]
+    # The headline pin: engine_stats may not even reveal which path ran.
+    assert on_report.engine_stats == off_report.engine_stats
+
+
+class TestPlatformEquivalence:
+    @pytest.mark.parametrize("name", APPROACH_NAMES)
+    def test_every_approach_numpy_backend(self, instance, name, zero_floor):
+        on_report, on_aux = _run(instance, make_allocator(name, seed=11), True)
+        off_report, off_aux = _run(instance, make_allocator(name, seed=11), False)
+        _assert_identical(on_report, off_report)
+        # The auxiliary telemetry is where the modes ARE allowed to differ.
+        assert off_aux["game_kernel_sweeps"] == 0
+        assert off_aux["game_kernel_candidates"] == 0
+        if name in GAME_APPROACHES:
+            assert on_aux["game_kernel_sweeps"] >= 1
+            assert on_aux["game_scalar_evals"] < off_aux["game_scalar_evals"]
+
+    @pytest.mark.parametrize("name", APPROACH_NAMES)
+    def test_every_approach_fallback_backend(
+        self, instance, name, zero_floor, monkeypatch
+    ):
+        _fallback_only(monkeypatch)
+        on_report, on_aux = _run(instance, make_allocator(name, seed=11), True)
+        off_report, _ = _run(instance, make_allocator(name, seed=11), False)
+        _assert_identical(on_report, off_report)
+        if name in GAME_APPROACHES:
+            assert on_aux["game_kernel_sweeps"] >= 1
+
+    @pytest.mark.parametrize("name", ["Greedy", "Game"])
+    def test_sharded_engine(self, instance, name, zero_floor):
+        on_report, _ = _run(instance, make_allocator(name, seed=11), True, shards=2)
+        off_report, _ = _run(instance, make_allocator(name, seed=11), False, shards=2)
+        _assert_identical(on_report, off_report)
+
+    @pytest.mark.parametrize("base", ["Greedy", "Closest"])
+    def test_local_search_wrapper(self, instance, base, zero_floor):
+        on_report, on_aux = _run(
+            instance, LocalSearchImprover(make_allocator(base, seed=11)), True
+        )
+        off_report, off_aux = _run(
+            instance, LocalSearchImprover(make_allocator(base, seed=11)), False
+        )
+        _assert_identical(on_report, off_report)
+        assert on_aux["game_kernel_sweeps"] >= 1
+        assert off_aux["game_kernel_sweeps"] == 0
+
+
+class TestSweepHistogram:
+    def _histogram(self, instance, enabled, zero=True):
+        previous = set_default_game_kernels(enabled)
+        try:
+            platform = Platform(
+                instance, make_allocator("Game", seed=11), batch_interval=5.0
+            )
+            platform.run()
+        finally:
+            set_default_game_kernels(previous)
+        return platform.metrics_registry.histogram("game.sweep_candidates")
+
+    def test_candidate_row_sizes_observed_identically(self, instance, zero_floor):
+        """Every dirty-worker sweep is observed in BOTH modes — the metrics
+        export may not reveal which path ran any more than the report may."""
+        on = self._histogram(instance, True)
+        off = self._histogram(instance, False)
+        assert on.count > 0
+        assert on.count == off.count
+        assert on.sum == off.sum
+        assert on.counts == off.counts
+
+
+class TestEngagementFloor:
+    def test_small_batches_stay_scalar_at_default_floor(self, instance):
+        """No floor patch: the 0.05-scale batches sit under MIN_PAIRS."""
+        on_report, on_aux = _run(instance, make_allocator("Game", seed=11), True)
+        off_report, _ = _run(instance, make_allocator("Game", seed=11), False)
+        _assert_identical(on_report, off_report)
+        assert on_aux["game_kernel_sweeps"] == 0
+
+    def test_explicit_allocator_flag_beats_process_default(self, instance, zero_floor):
+        from repro.algorithms.game import DASCGame
+
+        enabled = DASCGame(seed=11, use_game_kernels=True)
+        on_report, on_aux = _run(instance, enabled, False)  # default says off
+        disabled = DASCGame(seed=11, use_game_kernels=False)
+        off_report, off_aux = _run(instance, disabled, True)  # default says on
+        _assert_identical(on_report, off_report)
+        assert on_aux["game_kernel_sweeps"] >= 1
+        assert off_aux["game_kernel_sweeps"] == 0

@@ -1,0 +1,249 @@
+"""Property-based tests for the columnar game kernels (the sweep oracle).
+
+:class:`GameSweeper` must return, for any strategy profile and candidate
+row, exactly the floats a per-candidate scalar
+:meth:`~repro.algorithms.utility.GameState.candidate_utility` loop would —
+and advance the state's counters and value memo identically.  The profiles
+generated here are adversarial on purpose: zero-value tasks (unsatisfied
+dependencies), mass ties (spatially-trivial instances make most values
+equal), sole-chooser workers whose candidates read the masked
+withdrawn-view value, and >64-skill universes (past the one-word interning
+boundary of the feasibility kernels, which share the backend seam).  All
+comparisons are exact (``==`` on floats) on both backends.
+"""
+
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.utility import GameState
+from repro.columnar import kernels
+from repro.columnar.game_kernels import GameSweeper
+from repro.core.instance import ProblemInstance
+from repro.core.skills import SkillUniverse
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datagen.dependencies import wire_dependencies
+from repro.datagen.distributions import IntRange
+
+BACKENDS = (
+    ("numpy", "fallback") if kernels.numpy_available() else ("fallback",)
+)
+
+
+def build_instance(n_tasks, dep_seed, max_deps, n_skills=1):
+    """Spatially trivial (all values tie); skills exceed 64 when asked."""
+    skills = SkillUniverse(n_skills)
+    rng = random.Random(dep_seed)
+    deps = wire_dependencies(list(range(n_tasks)), IntRange(0, max_deps), rng)
+    tasks = [
+        Task(id=tid, location=(0.0, 0.0), start=0.0, wait=100.0,
+             skill=tid % n_skills, dependencies=deps[tid])
+        for tid in range(n_tasks)
+    ]
+    workers = [
+        Worker(id=w, location=(0.0, 0.0), start=0.0, wait=100.0, velocity=1.0,
+               max_distance=10.0, skills=frozenset(range(n_skills)))
+        for w in range(n_tasks + 2)
+    ]
+    return ProblemInstance(workers=workers, tasks=tasks, skills=skills)
+
+
+@st.composite
+def sweep_scenarios(draw):
+    """Twin states, candidate rows, and an interleaved move/sweep script."""
+    n_tasks = draw(st.integers(2, 8))
+    max_deps = draw(st.integers(0, 3))
+    dep_seed = draw(st.integers(0, 1000))
+    alpha = draw(st.floats(1.5, 20.0))
+    # >64 skills crosses the interning word boundary the feasibility
+    # kernels care about; the game kernels must not care at all.
+    n_skills = draw(st.sampled_from([1, 1, 2, 70, 130]))
+    prev = draw(st.sets(st.integers(0, n_tasks - 1), max_size=2))
+    instance = build_instance(n_tasks, dep_seed, max_deps, n_skills)
+    players = list(range(n_tasks + 2))
+
+    kernel_state = GameState(instance, instance.tasks, players, prev, alpha=alpha)
+    oracle_state = GameState(instance, instance.tasks, players, prev, alpha=alpha)
+
+    # Per-worker candidate rows: arbitrary subsets in arbitrary order (the
+    # sweeper must replay whatever order the row dictates, not assume
+    # sorted ids).  Rows are topped up with the worker's current choice
+    # lazily inside the test, because choices move during the script.
+    rows = {
+        w: draw(
+            st.lists(
+                st.integers(0, n_tasks - 1),
+                min_size=1,
+                max_size=n_tasks,
+                unique=True,
+            )
+        )
+        for w in players
+    }
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(players),
+                st.one_of(st.none(), st.integers(0, n_tasks - 1)),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return kernel_state, oracle_state, rows, script
+
+
+def _counters(state):
+    return (state.evaluations, state.cache_hits, state.value_recomputes)
+
+
+def _scalar_row(state, worker_id, row):
+    return [state.candidate_utility(worker_id, tid) for tid in row]
+
+
+def _run_script(scenario, backend):
+    """Apply moves to both states, sweeping every mover's row after each."""
+    kernel_state, oracle_state, rows, script = scenario
+    strategies = dict(rows)
+    # Every worker that will hold a choice must have it in its row (the
+    # sweep scores the committed strategy at its own crowd).
+    for worker_id, task_id in script:
+        if task_id is not None and task_id not in strategies[worker_id]:
+            strategies[worker_id] = strategies[worker_id] + [task_id]
+
+    sweeper = GameSweeper(kernel_state, strategies, backend=backend)
+    try:
+        for worker_id, task_id in script:
+            kernel_state.set_choice(worker_id, task_id)
+            oracle_state.set_choice(worker_id, task_id)
+            for player in strategies:
+                current = kernel_state.choice[player]
+                if current is None:
+                    continue
+                row = strategies[player]
+                swept = sweeper.sweep(player, row, current)
+                expected = _scalar_row(oracle_state, player, row)
+                if swept is None:
+                    # Below the per-row floor: the caller takes the scalar
+                    # path, which must stay available and identical.
+                    got = _scalar_row(kernel_state, player, row)
+                else:
+                    got, cur_off = swept
+                    assert row[cur_off] == current
+                assert got == expected, (backend, player, row, got, expected)
+                assert _counters(kernel_state) == _counters(oracle_state)
+                assert kernel_state._value_cache == oracle_state._value_cache
+            # The counter identity the engine pins:
+            assert (
+                kernel_state.evaluations
+                == kernel_state.cache_hits + kernel_state.value_recomputes
+            )
+    finally:
+        sweeper.detach()
+
+
+class TestSweepOracle:
+    @given(sweep_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_sweeps_match_scalar_oracle_fallback(self, scenario):
+        _run_script(scenario, "fallback")
+
+    @pytest.mark.skipif(
+        not kernels.numpy_available(), reason="numpy backend unavailable"
+    )
+    @given(sweep_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_sweeps_match_scalar_oracle_numpy(self, scenario):
+        _run_script(scenario, "numpy")
+
+    @given(sweep_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_masked_candidates_hit_withdrawn_view(self, scenario):
+        """Sole-chooser rows really exercise the masked branch sometimes."""
+        kernel_state, oracle_state, rows, script = scenario
+        for worker_id, task_id in script:
+            oracle_state.set_choice(worker_id, task_id)
+        sole = [
+            w
+            for w, t in oracle_state.choice.items()
+            if t is not None
+            and oracle_state.nw[t] == 1
+            and t not in oracle_state.prev
+        ]
+        # Not an assertion target — just drive the branch: evaluating every
+        # candidate for a sole chooser goes through the masked path for
+        # in-influence candidates, and the sweep above pinned its floats.
+        for w in sole:
+            for tid in range(len(oracle_state.batch_task_ids)):
+                oracle_state.candidate_utility(w, tid)
+        assert (
+            oracle_state.evaluations
+            == oracle_state.cache_hits + oracle_state.value_recomputes
+        )
+
+
+@contextmanager
+def _forced(module, backend):
+    """Zero the module's engagement floor; optionally force the fallback.
+
+    A context manager instead of monkeypatch because hypothesis re-runs the
+    test body per generated example while function-scoped fixtures persist.
+    """
+    saved_floor = module.GAME_KERNEL_MIN_PAIRS
+    saved_np = kernels._np
+    module.GAME_KERNEL_MIN_PAIRS = 0
+    if backend == "fallback":
+        kernels._np = None
+    try:
+        yield
+    finally:
+        module.GAME_KERNEL_MIN_PAIRS = saved_floor
+        kernels._np = saved_np
+
+
+class TestFullGameEquivalence:
+    @given(seed=st.integers(0, 300), backend=st.sampled_from(BACKENDS))
+    @settings(max_examples=30, deadline=None)
+    def test_game_identical_with_kernels_forced(self, seed, backend):
+        """Whole best-response runs, floor lowered so tiny games engage."""
+        import repro.algorithms.game as game_mod
+        from repro.algorithms.game import DASCGame
+        from repro.simulation.platform import run_single_batch
+
+        with _forced(game_mod, backend):
+            instance = build_instance(6, seed, 2)
+            on = run_single_batch(
+                instance, DASCGame(seed=seed, use_game_kernels=True), now=0.0
+            )
+            off = run_single_batch(
+                instance, DASCGame(seed=seed, use_game_kernels=False), now=0.0
+            )
+        assert sorted(on.assignment.pairs()) == sorted(off.assignment.pairs())
+        assert on.stats == off.stats
+
+    @given(seed=st.integers(0, 300), backend=st.sampled_from(BACKENDS))
+    @settings(max_examples=30, deadline=None)
+    def test_local_search_identical_with_kernels_forced(self, seed, backend):
+        import repro.algorithms.local_search as ls_mod
+        from repro.algorithms.greedy import DASCGreedy
+        from repro.algorithms.local_search import LocalSearchImprover
+        from repro.simulation.platform import run_single_batch
+
+        with _forced(ls_mod, backend):
+            instance = build_instance(6, seed, 2)
+            on = run_single_batch(
+                instance,
+                LocalSearchImprover(DASCGreedy(), use_game_kernels=True),
+                now=0.0,
+            )
+            off = run_single_batch(
+                instance,
+                LocalSearchImprover(DASCGreedy(), use_game_kernels=False),
+                now=0.0,
+            )
+        assert sorted(on.assignment.pairs()) == sorted(off.assignment.pairs())
+        assert on.stats == off.stats
